@@ -1,0 +1,47 @@
+"""Cryptographic substrate: the pseudorandom functions used by the DPF.
+
+The paper (Section 3.2.6) evaluates DPF-PIR with five PRFs — AES-128,
+SHA-256 (HMAC), ChaCha20, SipHash, and HighwayHash — because GPUs lack
+the AES-NI-style hardware that makes AES the default choice on CPUs.
+This package provides from-scratch, numpy-vectorized implementations of
+all five behind a uniform :class:`~repro.crypto.prf.Prf` interface, plus
+per-PRF cost metadata consumed by the GPU/CPU performance models.
+
+AES-128, SHA-256 and ChaCha20 are validated against their standard test
+vectors (FIPS-197, FIPS-180, RFC 8439); SipHash-2-4 against the
+reference-implementation vector; the HighwayHash-style mixer is a
+faithful *structural* stand-in (wide multiply/permute lanes) documented
+in DESIGN.md.
+"""
+
+from repro.crypto.prf import (
+    Prf,
+    CountingPrf,
+    available_prfs,
+    get_prf,
+    register_prf,
+)
+from repro.crypto.aes import Aes128, aes128_encrypt_blocks, expand_key
+from repro.crypto.sha256 import Sha256Prf, sha256
+from repro.crypto.chacha20 import ChaCha20Prf, chacha20_block, chacha20_keystream
+from repro.crypto.siphash import SipHashPrf, siphash24
+from repro.crypto.highwayhash import HighwayHashPrf
+
+__all__ = [
+    "Prf",
+    "CountingPrf",
+    "available_prfs",
+    "get_prf",
+    "register_prf",
+    "Aes128",
+    "aes128_encrypt_blocks",
+    "expand_key",
+    "Sha256Prf",
+    "sha256",
+    "ChaCha20Prf",
+    "chacha20_block",
+    "chacha20_keystream",
+    "SipHashPrf",
+    "siphash24",
+    "HighwayHashPrf",
+]

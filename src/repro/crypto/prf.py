@@ -1,0 +1,148 @@
+"""The PRF interface shared by every cipher in :mod:`repro.crypto`.
+
+A DPF expansion (Section 3.1 of the paper) calls a length-doubling PRG
+on every tree node.  Following the standard practice (and Google's CPU
+DPF library the paper baselines against), the PRG is built from a
+*fixed-key* primitive in Matyas--Meyer--Oseas mode so that no per-seed
+key schedule is needed: ``PRG(s)[j] = F(s xor c_j) xor s`` for a small
+tweak ``j``.  Every concrete PRF therefore exposes a single vectorized
+method :meth:`Prf.expand` mapping ``(N, 16)`` seed blocks to ``(N, 16)``
+output blocks for a given tweak.
+
+Cost metadata
+-------------
+``gpu_cost`` and ``cpu_cost`` are *relative per-call costs* (AES-128 =
+1.0) consumed by the performance models in :mod:`repro.gpu` and
+:mod:`repro.baselines.cpu`.  The GPU numbers are calibrated from the
+paper's Table 5 (1M-entry table, batch 512): AES-128 965 QPS, SHA-256
+921 QPS, ChaCha20 3,640 QPS, SipHash 7,447 QPS, HighwayHash 1,973 QPS.
+The CPU numbers reflect that AES enjoys AES-NI hardware on the paper's
+Xeon baseline while the others do not.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+SEED_BYTES = 16
+"""Size in bytes of a DPF seed / PRF block (the 128-bit security parameter)."""
+
+
+class Prf(abc.ABC):
+    """A vectorized pseudorandom function over 128-bit blocks.
+
+    Subclasses must set the class attributes below and implement
+    :meth:`expand`.
+
+    Attributes:
+        name: Registry key, e.g. ``"aes128"``.
+        gpu_cost: Relative per-call cost on a GPU (AES-128 = 1.0).
+        cpu_cost: Relative per-call cost on a CPU with crypto
+            acceleration available (AES-128 via AES-NI = 1.0).
+        security_bits: Claimed PRF security level.
+        standardized: Whether the primitive is a vetted standard
+            (the paper cautions that SipHash/HighwayHash trade security
+            assurance for speed).
+    """
+
+    name: str = "abstract"
+    gpu_cost: float = 1.0
+    cpu_cost: float = 1.0
+    security_bits: int = 128
+    standardized: bool = True
+
+    @abc.abstractmethod
+    def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
+        """Apply the PRF to a batch of seeds.
+
+        Args:
+            seeds: ``(N, 16)`` uint8 array of input blocks.
+            tweak: Small non-negative domain-separation constant; the
+                DPF uses tweak 0 for left children and 1 for right
+                children.
+
+        Returns:
+            ``(N, 16)`` uint8 array of pseudorandom output blocks.
+        """
+
+    def expand_pair(self, seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Length-doubling PRG: return the (left, right) child blocks."""
+        return self.expand(seeds, 0), self.expand(seeds, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CountingPrf(Prf):
+    """Wrap another PRF and count calls, for instrumentation.
+
+    The GPU strategy experiments (Figure 6) compare the *number of PRF
+    invocations* across parallelization strategies; tests use this
+    wrapper to assert the analytic counts against what the functional
+    kernels actually execute.
+    """
+
+    def __init__(self, inner: Prf):
+        self.inner = inner
+        self.name = inner.name
+        self.gpu_cost = inner.gpu_cost
+        self.cpu_cost = inner.cpu_cost
+        self.security_bits = inner.security_bits
+        self.standardized = inner.standardized
+        self.calls = 0
+        self.blocks = 0
+
+    def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
+        self.calls += 1
+        self.blocks += int(seeds.shape[0])
+        return self.inner.expand(seeds, tweak)
+
+    def reset(self) -> None:
+        """Zero the call counters."""
+        self.calls = 0
+        self.blocks = 0
+
+
+_REGISTRY: dict[str, type[Prf]] = {}
+
+
+def register_prf(cls: type[Prf]) -> type[Prf]:
+    """Class decorator adding a PRF implementation to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_prfs() -> list[str]:
+    """Names of all registered PRFs (importing submodules registers them)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_prf(name: str) -> Prf:
+    """Instantiate a registered PRF by name.
+
+    Raises:
+        KeyError: If ``name`` is not a registered PRF.
+    """
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown PRF {name!r}; available: {available_prfs()}")
+    return _REGISTRY[name]()
+
+
+def _ensure_loaded() -> None:
+    # Import the concrete implementations so their decorators run; local
+    # import avoids a cycle (each implementation imports this module).
+    from repro.crypto import aes, chacha20, highwayhash, sha256, siphash  # noqa: F401
+
+
+def seeds_to_u64(seeds: np.ndarray) -> np.ndarray:
+    """View ``(N, 16)`` uint8 seed blocks as ``(N, 2)`` little-endian uint64."""
+    return np.ascontiguousarray(seeds).view(np.uint64).reshape(-1, 2)
+
+
+def u64_to_seeds(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`seeds_to_u64`."""
+    return np.ascontiguousarray(words.astype(np.uint64, copy=False)).view(np.uint8).reshape(-1, 16)

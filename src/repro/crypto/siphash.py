@@ -1,0 +1,130 @@
+"""SipHash-2-4 (Aumasson--Bernstein), vectorized over batches of keys.
+
+SipHash is the fastest PRF in the paper's Table 5 (7,447 QPS vs AES's
+965) but, as Section 3.2.6 cautions, it targets 64-bit MAC security
+rather than full 128-bit PRF security — the metadata marks it
+non-standardized for this use so callers can make the trade-off
+explicitly.
+
+The DPF uses the seed as the SipHash key and the tweak as an 8-byte
+message; two invocations with domain-separated messages produce the
+128-bit output block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto import prf as prf_mod
+
+_V0 = np.uint64(0x736F6D6570736575)
+_V1 = np.uint64(0x646F72616E646F6D)
+_V2 = np.uint64(0x6C7967656E657261)
+_V3 = np.uint64(0x7465646279746573)
+
+
+def _rotl64(x: np.ndarray, n: int) -> np.ndarray:
+    return (x << np.uint64(n)) | (x >> np.uint64(64 - n))
+
+
+def _sipround(v0: np.ndarray, v1: np.ndarray, v2: np.ndarray, v3: np.ndarray):
+    v0 = v0 + v1
+    v1 = _rotl64(v1, 13)
+    v1 ^= v0
+    v0 = _rotl64(v0, 32)
+    v2 = v2 + v3
+    v3 = _rotl64(v3, 16)
+    v3 ^= v2
+    v0 = v0 + v3
+    v3 = _rotl64(v3, 21)
+    v3 ^= v0
+    v2 = v2 + v1
+    v1 = _rotl64(v1, 17)
+    v1 ^= v2
+    v2 = _rotl64(v2, 32)
+    return v0, v1, v2, v3
+
+
+def siphash24_batch(k0: np.ndarray, k1: np.ndarray, message: np.ndarray) -> np.ndarray:
+    """SipHash-2-4 of a single 8-byte message word per key.
+
+    Args:
+        k0: ``(N,)`` uint64 low key words.
+        k1: ``(N,)`` uint64 high key words.
+        message: ``(N,)`` uint64 message words (one 8-byte block each).
+
+    Returns:
+        ``(N,)`` uint64 MACs.
+    """
+    v0 = k0 ^ _V0
+    v1 = k1 ^ _V1
+    v2 = k0 ^ _V2
+    v3 = k1 ^ _V3
+    # Compression of the single message word.
+    v3 = v3 ^ message
+    for _ in range(2):
+        v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+    v0 = v0 ^ message
+    # Finalization: length byte (8) in the top byte of the last block.
+    final_block = np.uint64(8 << 56)
+    v3 = v3 ^ final_block
+    for _ in range(2):
+        v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+    v0 = v0 ^ final_block
+    v2 = v2 ^ np.uint64(0xFF)
+    for _ in range(4):
+        v0, v1, v2, v3 = _sipround(v0, v1, v2, v3)
+    return v0 ^ v1 ^ v2 ^ v3
+
+
+def siphash24(key: bytes, message: bytes) -> int:
+    """Scalar SipHash-2-4 for arbitrary-length messages (test vectors)."""
+    if len(key) != 16:
+        raise ValueError("SipHash key must be 16 bytes")
+    k0 = np.frombuffer(key[:8], dtype="<u8")[0]
+    k1 = np.frombuffer(key[8:], dtype="<u8")[0]
+    v0 = k0 ^ _V0
+    v1 = k1 ^ _V1
+    v2 = k0 ^ _V2
+    v3 = k1 ^ _V3
+    v = [np.array([x]) for x in (v0, v1, v2, v3)]
+
+    length = len(message)
+    padded = bytearray(message)
+    while len(padded) % 8 != 7:
+        padded.append(0)
+    padded.append(length & 0xFF)
+    words = np.frombuffer(bytes(padded), dtype="<u8")
+    for m in words:
+        v[3] = v[3] ^ m
+        for _ in range(2):
+            v = list(_sipround(*v))
+        v[0] = v[0] ^ m
+    v[2] = v[2] ^ np.uint64(0xFF)
+    for _ in range(4):
+        v = list(_sipround(*v))
+    return int(v[0][0] ^ v[1][0] ^ v[2][0] ^ v[3][0])
+
+
+@prf_mod.register_prf
+class SipHashPrf(prf_mod.Prf):
+    """SipHash-2-4 as a 128-bit-output PRF (two domain-separated calls)."""
+
+    name = "siphash"
+    gpu_cost = 965.0 / 7447.0  # Table 5: 7,447 QPS vs AES's 965.
+    cpu_cost = 0.8
+    security_bits = 64
+    standardized = False
+
+    def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
+        if seeds.ndim != 2 or seeds.shape[1] != 16:
+            raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
+        n = seeds.shape[0]
+        words = prf_mod.seeds_to_u64(seeds)
+        k0 = words[:, 0]
+        k1 = words[:, 1]
+        msg_lo = np.full(n, np.uint64(2 * tweak), dtype=np.uint64)
+        msg_hi = np.full(n, np.uint64(2 * tweak + 1), dtype=np.uint64)
+        lo = siphash24_batch(k0, k1, msg_lo)
+        hi = siphash24_batch(k0, k1, msg_hi)
+        return prf_mod.u64_to_seeds(np.stack((lo, hi), axis=1))

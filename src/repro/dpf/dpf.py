@@ -1,0 +1,155 @@
+"""DPF key generation and evaluation (paper Section 3.1).
+
+``gen`` runs on the client (cheap, O(log L) PRF calls — Figure 3);
+``eval_full`` runs on the servers (O(L) PRF calls, the paper's
+acceleration target).  ``eval_full`` here is the *reference* level-by-
+level expansion; the GPU strategies in :mod:`repro.gpu.strategies`
+provide the accelerated/instrumented traversals and are tested for
+bit-equality against this function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.prf import Prf, SEED_BYTES
+from repro.dpf import ggm
+from repro.dpf.keys import CorrectionWord, DpfKey
+
+_U64_MASK = (1 << 64) - 1
+
+
+def _log2_ceil(value: int) -> int:
+    return max(int(value - 1).bit_length(), 0)
+
+
+def gen(
+    alpha: int,
+    domain_size: int,
+    prf: Prf,
+    rng: np.random.Generator,
+    beta: int = 1,
+) -> tuple[DpfKey, DpfKey]:
+    """Generate the two DPF keys encoding ``f(alpha) = beta``.
+
+    Args:
+        alpha: Secret index in ``[0, domain_size)``.
+        domain_size: Table size L.
+        prf: PRF shared with the evaluating servers.
+        rng: Source of the random root seeds.
+        beta: Output value at ``alpha`` (mod 2^64); PIR uses 1.
+
+    Returns:
+        ``(key_0, key_1)`` for the two non-colluding servers.
+
+    Raises:
+        ValueError: If ``alpha`` is out of range or the domain is empty.
+    """
+    if domain_size <= 0:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    if not 0 <= alpha < domain_size:
+        raise ValueError(f"alpha={alpha} out of range for domain of {domain_size}")
+    n = _log2_ceil(domain_size)
+
+    seed_a = rng.integers(0, 256, size=(1, SEED_BYTES), dtype=np.uint8)
+    seed_b = rng.integers(0, 256, size=(1, SEED_BYTES), dtype=np.uint8)
+    t_a, t_b = np.array([0], dtype=np.uint8), np.array([1], dtype=np.uint8)
+    root_a, root_b = seed_a[0].copy(), seed_b[0].copy()
+
+    correction_words: list[CorrectionWord] = []
+    for level in range(n):
+        path_bit = (alpha >> (n - 1 - level)) & 1
+        sl_a, tl_a, sr_a, tr_a = ggm.prg_expand(prf, seed_a, t_a)
+        sl_b, tl_b, sr_b, tr_b = ggm.prg_expand(prf, seed_b, t_b)
+
+        if path_bit == 0:
+            keep_a, keep_t_a, lose_a = sl_a, tl_a, sr_a
+            keep_b, keep_t_b, lose_b = sl_b, tl_b, sr_b
+        else:
+            keep_a, keep_t_a, lose_a = sr_a, tr_a, sl_a
+            keep_b, keep_t_b, lose_b = sr_b, tr_b, sl_b
+
+        cw_seed = (lose_a ^ lose_b)[0]
+        cw_t_left = int(tl_a[0] ^ tl_b[0] ^ path_bit ^ 1)
+        cw_t_right = int(tr_a[0] ^ tr_b[0] ^ path_bit)
+        correction_words.append(
+            CorrectionWord(seed=cw_seed, t_left=cw_t_left, t_right=cw_t_right)
+        )
+        cw_t_keep = cw_t_right if path_bit else cw_t_left
+
+        seed_a = keep_a ^ (cw_seed[np.newaxis, :] * t_a[:, np.newaxis])
+        seed_b = keep_b ^ (cw_seed[np.newaxis, :] * t_b[:, np.newaxis])
+        new_t_a = np.array([keep_t_a[0] ^ (t_a[0] & cw_t_keep)], dtype=np.uint8)
+        new_t_b = np.array([keep_t_b[0] ^ (t_b[0] & cw_t_keep)], dtype=np.uint8)
+        t_a, t_b = new_t_a, new_t_b
+
+    conv_a = int(ggm.convert_to_u64(seed_a)[0])
+    conv_b = int(ggm.convert_to_u64(seed_b)[0])
+    output_cw = (beta - conv_a + conv_b) & _U64_MASK
+    if int(t_b[0]) == 1:
+        output_cw = (-output_cw) & _U64_MASK
+
+    common = dict(
+        domain_size=domain_size,
+        log_domain=n,
+        correction_words=correction_words,
+        output_cw=output_cw,
+        prf_name=prf.name,
+    )
+    key_0 = DpfKey(party=0, root_seed=root_a, root_t=0, **common)
+    key_1 = DpfKey(party=1, root_seed=root_b, root_t=1, **common)
+    return key_0, key_1
+
+
+def eval_full(key: DpfKey, prf: Prf) -> np.ndarray:
+    """Expand a key over the whole domain (reference level-by-level walk).
+
+    Returns:
+        ``(domain_size,)`` uint64 array of output shares; adding both
+        parties' arrays mod 2^64 yields ``beta`` at ``alpha`` and 0
+        elsewhere.
+    """
+    _check_prf(key, prf)
+    seeds = key.root_seed[np.newaxis, :].copy()
+    ts = np.array([key.root_t], dtype=np.uint8)
+    for cw in key.correction_words:
+        seeds, ts = ggm.expand_level(prf, seeds, ts, cw.seed, cw.t_left, cw.t_right)
+    values = ggm.leaf_values(seeds, ts, key.output_cw, key.party)
+    return values[: key.domain_size]
+
+
+def eval_points(key: DpfKey, prf: Prf, indices: np.ndarray) -> np.ndarray:
+    """Evaluate a key at a set of indices without a full expansion.
+
+    This is the O(|indices| log L) path walk; useful for client-side
+    spot checks and tests.  Server-side PIR always needs the full
+    expansion (it must touch every row to stay oblivious).
+
+    Returns:
+        ``(len(indices),)`` uint64 output shares.
+    """
+    _check_prf(key, prf)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= key.domain_size):
+        raise ValueError("index out of domain")
+    m = indices.shape[0]
+    seeds = np.broadcast_to(key.root_seed, (m, 16)).copy()
+    ts = np.full(m, key.root_t, dtype=np.uint8)
+    n = key.log_domain
+    for level, cw in enumerate(key.correction_words):
+        bits = ((indices >> (n - 1 - level)) & 1).astype(np.uint8)
+        s_left, t_left, s_right, t_right = ggm.prg_expand(prf, seeds, ts)
+        chosen_s = np.where(bits[:, np.newaxis] == 0, s_left, s_right)
+        chosen_t = np.where(bits == 0, t_left, t_right)
+        cw_t = np.where(bits == 0, np.uint8(cw.t_left), np.uint8(cw.t_right))
+        seeds = chosen_s ^ (cw.seed[np.newaxis, :] * ts[:, np.newaxis])
+        ts = (chosen_t ^ (ts & cw_t)).astype(np.uint8)
+    return ggm.leaf_values(seeds, ts, key.output_cw, key.party)
+
+
+def _check_prf(key: DpfKey, prf: Prf) -> None:
+    if key.prf_name != prf.name:
+        raise ValueError(
+            f"key was generated for PRF {key.prf_name!r} but evaluation "
+            f"uses {prf.name!r}; the parties would not reconstruct"
+        )

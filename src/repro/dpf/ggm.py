@@ -1,0 +1,117 @@
+"""GGM-tree expansion primitives shared by DPF Gen/Eval and GPU kernels.
+
+The DPF evaluation (paper Eq. 1--3, Figure 4) is the expansion of a
+binary tree of 128-bit seeds: each node carries a seed ``s`` and a
+control bit ``t``; its children are derived with two PRF calls plus a
+per-level correction applied when ``t = 1``.  These helpers implement
+that step vectorized over an arbitrary frontier of nodes, which is the
+building block every parallelization strategy in :mod:`repro.gpu`
+reuses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.prf import Prf
+
+
+def prg_expand(
+    prf: Prf, seeds: np.ndarray, ts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Length-doubling PRG on a frontier of nodes.
+
+    Args:
+        prf: The PRF backing the PRG (Matyas--Meyer--Oseas mode).
+        seeds: ``(N, 16)`` uint8 node seeds.
+        ts: ``(N,)`` uint8 control bits (0/1); unused here but accepted
+            so call sites read naturally — correction happens in
+            :func:`apply_correction`.
+
+    Returns:
+        ``(left_seeds, left_ts, right_seeds, right_ts)`` where seeds are
+        ``(N, 16)`` uint8 and control bits ``(N,)`` uint8 extracted from
+        the low bit of each child block's first byte.
+    """
+    del ts  # The PRG depends only on the seed.
+    left, right = prf.expand_pair(seeds)
+    return left, left[:, 0] & 1, right, right[:, 0] & 1
+
+
+def apply_correction(
+    child_seeds: np.ndarray,
+    child_ts: np.ndarray,
+    parent_ts: np.ndarray,
+    cw_seed: np.ndarray,
+    cw_t: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a level's correction word where the parent control bit is set.
+
+    Args:
+        child_seeds: ``(N, 16)`` uint8 child seeds (mutated copy returned).
+        child_ts: ``(N,)`` uint8 child control bits.
+        parent_ts: ``(N,)`` uint8 parent control bits.
+        cw_seed: ``(16,)`` uint8 seed correction word.
+        cw_t: Control-bit correction (0/1) for this child side.
+
+    Returns:
+        Corrected ``(seeds, ts)``.
+    """
+    mask = parent_ts.astype(np.uint8)
+    seeds = child_seeds ^ (cw_seed[np.newaxis, :] * mask[:, np.newaxis])
+    ts = (child_ts ^ (mask & np.uint8(cw_t))).astype(np.uint8)
+    return seeds, ts
+
+
+def expand_level(
+    prf: Prf,
+    seeds: np.ndarray,
+    ts: np.ndarray,
+    cw_seed: np.ndarray,
+    cw_t_left: int,
+    cw_t_right: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a frontier one level, interleaving children in index order.
+
+    Node ``j`` at the current depth produces children ``2j`` (left) and
+    ``2j + 1`` (right) at the next depth, so the returned arrays hold
+    ``2N`` nodes in natural index order.
+
+    Returns:
+        ``(seeds, ts)`` of shape ``(2N, 16)`` / ``(2N,)``.
+    """
+    s_left, t_left, s_right, t_right = prg_expand(prf, seeds, ts)
+    s_left, t_left = apply_correction(s_left, t_left, ts, cw_seed, cw_t_left)
+    s_right, t_right = apply_correction(s_right, t_right, ts, cw_seed, cw_t_right)
+
+    n = seeds.shape[0]
+    out_seeds = np.empty((2 * n, 16), dtype=np.uint8)
+    out_seeds[0::2] = s_left
+    out_seeds[1::2] = s_right
+    out_ts = np.empty(2 * n, dtype=np.uint8)
+    out_ts[0::2] = t_left
+    out_ts[1::2] = t_right
+    return out_seeds, out_ts
+
+
+def convert_to_u64(seeds: np.ndarray) -> np.ndarray:
+    """Map seeds into the output group Z_{2^64} (first 8 bytes, LE)."""
+    return np.ascontiguousarray(seeds[:, :8]).view("<u8").reshape(-1)
+
+
+def leaf_values(
+    seeds: np.ndarray, ts: np.ndarray, output_cw: int, party: int
+) -> np.ndarray:
+    """Final share conversion at the leaves.
+
+    Party ``b`` outputs ``(-1)^b * (convert(s) + t * CW_out)`` mod 2^64
+    so that the two parties' leaves sum to ``beta`` at ``alpha`` and to
+    0 elsewhere.
+
+    Returns:
+        ``(N,)`` uint64 output shares.
+    """
+    values = convert_to_u64(seeds) + ts.astype(np.uint64) * np.uint64(output_cw % (1 << 64))
+    if party == 1:
+        values = np.uint64(0) - values
+    return values

@@ -1,0 +1,141 @@
+"""DPF key material and wire-format serialization.
+
+The client sends one key per server (paper Figure 2); the key size is
+the client->server communication the paper reports in Table 4's "Bytes"
+column.  The BGI construction used here carries one 128-bit seed plus
+two control-bit corrections per tree level, a root seed, and a 64-bit
+output correction word, giving ``O(lambda log L)`` communication.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_MAGIC = b"DPF1"
+_U64_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class CorrectionWord:
+    """Per-level correction: a seed word plus the two control-bit fixes."""
+
+    seed: np.ndarray  # (16,) uint8
+    t_left: int
+    t_right: int
+
+    def __post_init__(self):
+        if self.seed.shape != (16,):
+            raise ValueError(f"correction seed must be (16,), got {self.seed.shape}")
+
+
+@dataclass(frozen=True)
+class DpfKey:
+    """One party's share of a distributed point function.
+
+    Attributes:
+        party: 0 or 1 (which non-colluding server this key is for).
+        domain_size: Number of addressable indices L (may be below
+            ``2 ** log_domain`` for non-power-of-two tables).
+        log_domain: Tree depth n = ceil(log2(L)).
+        root_seed: ``(16,)`` uint8 root seed.
+        root_t: Root control bit (0 for party 0, 1 for party 1).
+        correction_words: One :class:`CorrectionWord` per level.
+        output_cw: Final output correction word in Z_{2^64}.
+        prf_name: Registry name of the PRF both parties must use.
+    """
+
+    party: int
+    domain_size: int
+    log_domain: int
+    root_seed: np.ndarray
+    root_t: int
+    correction_words: list[CorrectionWord] = field(default_factory=list)
+    output_cw: int = 0
+    prf_name: str = "aes128"
+
+    def __post_init__(self):
+        if self.party not in (0, 1):
+            raise ValueError(f"party must be 0 or 1, got {self.party}")
+        if len(self.correction_words) != self.log_domain:
+            raise ValueError(
+                f"expected {self.log_domain} correction words, "
+                f"got {len(self.correction_words)}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size — the per-query upload cost."""
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire format (little-endian, versioned)."""
+        prf_bytes = self.prf_name.encode()
+        header = struct.pack(
+            "<4sBBIQB",
+            _MAGIC,
+            self.party,
+            self.log_domain,
+            self.domain_size,
+            self.output_cw & _U64_MASK,
+            len(prf_bytes),
+        )
+        body = [header, prf_bytes, bytes([self.root_t]), self.root_seed.tobytes()]
+        for cw in self.correction_words:
+            body.append(cw.seed.tobytes())
+            body.append(bytes([cw.t_left | (cw.t_right << 1)]))
+        return b"".join(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DpfKey":
+        """Parse a key produced by :meth:`to_bytes`.
+
+        Raises:
+            ValueError: On a malformed or truncated buffer.
+        """
+        header_size = struct.calcsize("<4sBBIQB")
+        if len(data) < header_size:
+            raise ValueError("truncated DPF key")
+        magic, party, log_domain, domain_size, output_cw, prf_len = struct.unpack(
+            "<4sBBIQB", data[:header_size]
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad DPF key magic {magic!r}")
+        offset = header_size
+        prf_name = data[offset : offset + prf_len].decode()
+        offset += prf_len
+        root_t = data[offset]
+        offset += 1
+        root_seed = np.frombuffer(data[offset : offset + 16], dtype=np.uint8).copy()
+        offset += 16
+        cws = []
+        for _ in range(log_domain):
+            seed = np.frombuffer(data[offset : offset + 16], dtype=np.uint8).copy()
+            offset += 16
+            bits = data[offset]
+            offset += 1
+            cws.append(CorrectionWord(seed=seed, t_left=bits & 1, t_right=(bits >> 1) & 1))
+        if offset != len(data):
+            raise ValueError("trailing bytes in DPF key")
+        return cls(
+            party=party,
+            domain_size=domain_size,
+            log_domain=log_domain,
+            root_seed=root_seed,
+            root_t=root_t,
+            correction_words=cws,
+            output_cw=output_cw,
+            prf_name=prf_name,
+        )
+
+
+def key_size_bytes(domain_size: int, prf_name: str = "aes128") -> int:
+    """Size of a serialized key for a given table size, without generating one.
+
+    Used by the communication accounting and the batch-PIR planner.
+    """
+    log_domain = max(int(np.ceil(np.log2(max(domain_size, 1)))), 0)
+    header = struct.calcsize("<4sBBIQB") + len(prf_name.encode()) + 1 + 16
+    return header + log_domain * 17

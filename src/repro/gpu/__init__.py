@@ -1,0 +1,57 @@
+"""GPU execution substrate for DPF-PIR (paper Section 3.2).
+
+The paper's artifact is a set of CUDA kernels on an NVIDIA V100.  This
+package substitutes that hardware with two tightly-coupled layers
+(DESIGN.md, "Substitutions"):
+
+* **Functional kernels** — every parallelization strategy
+  (branch-parallel, level-by-level, memory-bounded tree traversal,
+  cooperative-groups) is implemented as a real vectorized-numpy
+  traversal whose PRF-call counts and peak live memory are metered and
+  tested against the analytic formulas (Figure 6).
+* **Performance model** — a wave-level simulator of a SIMT device
+  (:mod:`repro.gpu.sim`) with occupancy, shared-memory, bandwidth, and
+  launch-overhead effects, calibrated against the paper's published
+  V100 numbers (Tables 4 and 5).  It produces the latency, throughput,
+  and utilization series behind Figures 8, 9, 13, 14 and 15.
+
+The scheduler (:mod:`repro.gpu.scheduler`) reproduces the paper's
+batch- and table-size-aware strategy selection (Section 3.2.5).
+"""
+
+from repro.gpu.device import A100, DeviceSpec, V100
+from repro.gpu.kernel import KernelPhase, KernelPlan, KernelStats
+from repro.gpu.memory import MemoryMeter
+from repro.gpu.scheduler import Scheduler, select_strategy
+from repro.gpu.sim import GpuSimulator
+from repro.gpu.strategies import (
+    BranchParallel,
+    CooperativeGroups,
+    LevelByLevel,
+    MemoryBoundedTree,
+    StrategyCost,
+    available_strategies,
+    get_strategy,
+)
+from repro.gpu.multigpu import MultiGpuExecutor
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "A100",
+    "MemoryMeter",
+    "KernelPhase",
+    "KernelPlan",
+    "KernelStats",
+    "GpuSimulator",
+    "BranchParallel",
+    "LevelByLevel",
+    "MemoryBoundedTree",
+    "CooperativeGroups",
+    "StrategyCost",
+    "available_strategies",
+    "get_strategy",
+    "Scheduler",
+    "select_strategy",
+    "MultiGpuExecutor",
+]

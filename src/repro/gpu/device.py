@@ -1,0 +1,132 @@
+"""Device specifications for the SIMT performance model.
+
+The V100 numbers are the paper's platform (Section 5.1).  The crypto
+throughput constant is *calibrated*, not datasheet-derived: Table 4
+reports 1,358 QPS for a 1M-entry table with AES-128, and a 1M-entry
+full-domain evaluation costs ~2(L-1) PRF block evaluations, giving
+~2.9e9 AES blocks/s device-wide for the fused memory-bounded kernel.
+All other PRFs scale by their ``gpu_cost`` metadata (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU for the performance model.
+
+    Attributes:
+        name: Marketing name.
+        num_sms: Streaming multiprocessors.
+        max_threads_per_sm: Resident thread contexts per SM.
+        warp_size: Threads per warp.
+        max_blocks_per_sm: Resident block limit per SM.
+        shared_mem_per_sm: Bytes of shared memory per SM.
+        max_shared_mem_per_block: Bytes of shared memory one block may use.
+        max_threads_per_block: CUDA block-size limit.
+        global_mem_bytes: Device memory capacity.
+        mem_bandwidth: Global-memory bandwidth, bytes/s.
+        pcie_bandwidth: Host link bandwidth, bytes/s.
+        aes_rate: Device-wide AES-128 block evaluations/s at full
+            occupancy (calibration constant; see module docstring).
+        int_mac_rate: Integer multiply-accumulate ops/s for the table
+            dot products.
+        kernel_launch_overhead: Seconds per kernel launch.
+        sync_overhead: Seconds per device-wide barrier (grid sync or
+            back-to-back launch dependency).
+        per_query_overhead: Fixed per-query scheduling/copy cost in
+            seconds (calibrated from the paper's small-table QPS).
+    """
+
+    name: str
+    num_sms: int
+    max_threads_per_sm: int
+    warp_size: int
+    max_blocks_per_sm: int
+    shared_mem_per_sm: int
+    max_shared_mem_per_block: int
+    max_threads_per_block: int
+    global_mem_bytes: int
+    mem_bandwidth: float
+    pcie_bandwidth: float
+    aes_rate: float
+    int_mac_rate: float
+    kernel_launch_overhead: float
+    sync_overhead: float
+    per_query_overhead: float
+
+    @property
+    def total_threads(self) -> int:
+        """Maximum resident threads device-wide."""
+        return self.num_sms * self.max_threads_per_sm
+
+    def prf_rate(self, gpu_cost: float) -> float:
+        """Device-wide PRF block rate for a PRF with the given relative cost."""
+        return self.aes_rate / gpu_cost
+
+    def occupancy(self, threads_per_block: int, shared_mem_per_block: int) -> float:
+        """Fraction of thread contexts a kernel can keep resident.
+
+        Mirrors the CUDA occupancy calculation: resident blocks per SM
+        are limited by the block count cap, the shared-memory budget,
+        and the thread-context budget.
+
+        Returns:
+            Occupancy in (0, 1]; 0.0 if the block cannot launch at all
+            (e.g. its shared-memory demand exceeds the per-block limit).
+        """
+        if threads_per_block <= 0:
+            return 0.0
+        if threads_per_block > self.max_threads_per_block:
+            return 0.0
+        if shared_mem_per_block > self.max_shared_mem_per_block:
+            return 0.0
+        limits = [
+            self.max_blocks_per_sm,
+            self.max_threads_per_sm // threads_per_block,
+        ]
+        if shared_mem_per_block > 0:
+            limits.append(self.shared_mem_per_sm // shared_mem_per_block)
+        blocks = max(min(limits), 0)
+        return min(1.0, blocks * threads_per_block / self.max_threads_per_sm)
+
+
+V100 = DeviceSpec(
+    name="V100-SXM2-16GB",
+    num_sms=80,
+    max_threads_per_sm=2048,
+    warp_size=32,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    max_shared_mem_per_block=96 * 1024,
+    max_threads_per_block=1024,
+    global_mem_bytes=16 * 1024**3,
+    mem_bandwidth=900e9,
+    pcie_bandwidth=12e9,
+    aes_rate=2.9e9,
+    int_mac_rate=2.0e12,
+    kernel_launch_overhead=5e-6,
+    sync_overhead=10e-6,
+    per_query_overhead=5e-6,
+)
+
+A100 = DeviceSpec(
+    name="A100-SXM4-40GB",
+    num_sms=108,
+    max_threads_per_sm=2048,
+    warp_size=32,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=164 * 1024,
+    max_shared_mem_per_block=164 * 1024,
+    max_threads_per_block=1024,
+    global_mem_bytes=40 * 1024**3,
+    mem_bandwidth=1555e9,
+    pcie_bandwidth=25e9,
+    aes_rate=5.4e9,  # scaled by SM count and clock vs the calibrated V100
+    int_mac_rate=4.0e12,
+    kernel_launch_overhead=5e-6,
+    sync_overhead=10e-6,
+    per_query_overhead=5e-6,
+)

@@ -1,0 +1,110 @@
+"""Kernel plans and statistics exchanged between strategies and the simulator.
+
+A strategy describes the GPU work it would launch as a
+:class:`KernelPlan` — an ordered list of :class:`KernelPhase` entries,
+each carrying total PRF work, the instantaneous parallel width, global
+memory traffic, and per-block resource demands.  The simulator
+(:mod:`repro.gpu.sim`) prices a plan on a :class:`~repro.gpu.device
+.DeviceSpec` and returns :class:`KernelStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """One dependency-ordered slice of GPU work.
+
+    Attributes:
+        label: Human-readable phase name for breakdowns.
+        prf_blocks: Total PRF block evaluations in the phase.
+        parallel_width: Number of work items that could run
+            concurrently (threads' worth of exposed parallelism).
+        bytes_read: Global-memory bytes read.
+        bytes_written: Global-memory bytes written.
+        mac_ops: Integer multiply-accumulates (table dot products).
+        launches: Kernel launches attributable to the phase.
+        syncs: Device-wide barriers attributable to the phase.
+        threads_per_block: Block shape used for occupancy.
+        shared_mem_per_block: Shared-memory bytes per block.
+    """
+
+    label: str
+    prf_blocks: int = 0
+    parallel_width: int = 1
+    bytes_read: int = 0
+    bytes_written: int = 0
+    mac_ops: int = 0
+    launches: int = 1
+    syncs: int = 0
+    threads_per_block: int = 256
+    shared_mem_per_block: int = 0
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """A strategy's complete execution recipe for one batch.
+
+    Attributes:
+        strategy: Strategy registry name.
+        batch_size: Queries evaluated by the plan.
+        table_entries: Table size L.
+        entry_bytes: Bytes per table entry.
+        fused: Whether DPF expansion and the table dot product are fused.
+        phases: Ordered phases.
+        peak_mem_bytes: Device-memory high-water mark (excludes the
+            table itself, which is resident across batches).
+        host_bytes_in: Host->device transfer (keys).
+        host_bytes_out: Device->host transfer (answer shares).
+    """
+
+    strategy: str
+    batch_size: int
+    table_entries: int
+    entry_bytes: int
+    fused: bool
+    phases: list[KernelPhase] = field(default_factory=list)
+    peak_mem_bytes: int = 0
+    host_bytes_in: int = 0
+    host_bytes_out: int = 0
+
+    @property
+    def total_prf_blocks(self) -> int:
+        return sum(p.prf_blocks for p in self.phases)
+
+    def fits(self, free_mem_bytes: int) -> bool:
+        """Whether the plan's working set fits in the given free memory."""
+        return self.peak_mem_bytes <= free_mem_bytes
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Simulator output for one plan on one device.
+
+    Attributes:
+        latency_s: End-to-end batch latency (host transfers included).
+        throughput_qps: Queries per second (batch_size / latency).
+        utilization: Compute-time-weighted fraction of thread contexts
+            active during PRF phases — the quantity on the y-axis of
+            the paper's Figures 8b and 9.
+        peak_mem_bytes: Device-memory high-water mark of the plan.
+        prf_blocks: Total PRF evaluations executed.
+        compute_time_s: Time attributed to PRF/MAC compute.
+        memory_time_s: Time attributed to global-memory traffic.
+        overhead_time_s: Launch/sync/per-query fixed costs.
+        feasible: False when the plan cannot run (e.g. OOM or an
+            unlaunchable block shape); other fields are then upper
+            bounds rather than predictions.
+    """
+
+    latency_s: float
+    throughput_qps: float
+    utilization: float
+    peak_mem_bytes: int
+    prf_blocks: int
+    compute_time_s: float
+    memory_time_s: float
+    overhead_time_s: float
+    feasible: bool = True

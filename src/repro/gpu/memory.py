@@ -1,0 +1,58 @@
+"""Live-memory metering for the functional kernels.
+
+Figure 6 of the paper compares the *peak memory usage* of the DPF
+parallelization strategies.  The functional kernels in
+:mod:`repro.gpu.strategies` report every buffer they hold through a
+:class:`MemoryMeter`, so tests can assert the analytic bounds
+(O(BL) for level-by-level vs O(BK log L) for memory-bounded traversal)
+against actual allocations rather than trusting the formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MemoryMeter:
+    """Tracks current and peak live bytes across explicit alloc/free calls."""
+
+    def __init__(self):
+        self.current = 0
+        self.peak = 0
+
+    def alloc(self, nbytes: int) -> int:
+        """Record an allocation; returns ``nbytes`` for chaining."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        self.current += nbytes
+        self.peak = max(self.peak, self.current)
+        return nbytes
+
+    def free(self, nbytes: int) -> None:
+        """Record a release.
+
+        Raises:
+            ValueError: If more bytes are freed than are live — that is
+                always a kernel accounting bug worth failing loudly on.
+        """
+        if nbytes > self.current:
+            raise ValueError(
+                f"freeing {nbytes} bytes but only {self.current} live"
+            )
+        self.current -= nbytes
+
+    def alloc_array(self, arr: np.ndarray) -> np.ndarray:
+        """Record an array's storage and pass the array through."""
+        self.alloc(arr.nbytes)
+        return arr
+
+    def free_array(self, arr: np.ndarray) -> None:
+        """Record release of an array's storage."""
+        self.free(arr.nbytes)
+
+    def reset(self) -> None:
+        self.current = 0
+        self.peak = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryMeter(current={self.current}, peak={self.peak})"

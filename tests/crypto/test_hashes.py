@@ -1,0 +1,121 @@
+"""SHA-256, ChaCha20, SipHash, HighwayHash known-answer and property tests."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.crypto.chacha20 import ChaCha20Prf, chacha20_keystream, quarter_round
+from repro.crypto.highwayhash import HighwayHashPrf
+from repro.crypto.sha256 import Sha256Prf, sha256
+from repro.crypto.siphash import SipHashPrf, siphash24
+
+
+class TestSha256:
+    def test_abc_vector(self):
+        assert (
+            sha256(b"abc").hex()
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_empty_vector(self):
+        assert sha256(b"") == hashlib.sha256(b"").digest()
+
+    @pytest.mark.parametrize("length", [0, 1, 55, 56, 63, 64, 65, 200])
+    def test_matches_hashlib_across_padding_boundaries(self, length):
+        msg = bytes(range(256))[:length] * 1
+        assert sha256(msg) == hashlib.sha256(msg).digest()
+
+    def test_prf_matches_digest_construction(self):
+        prf = Sha256Prf()
+        seed = np.arange(16, dtype=np.uint8).reshape(1, 16)
+        out = prf.expand(seed, 7)
+        expected = hashlib.sha256(
+            seed.tobytes() + (7).to_bytes(4, "big")
+        ).digest()[:16]
+        assert out.tobytes() == expected
+
+
+class TestChaCha20:
+    def test_rfc8439_quarter_round(self):
+        state = np.zeros((1, 16), dtype=np.uint32)
+        state[0, 0] = 0x11111111
+        state[0, 1] = 0x01020304
+        state[0, 2] = 0x9B8D6F43
+        state[0, 3] = 0x01234567
+        quarter_round(state, 0, 1, 2, 3)
+        assert state[0, 0] == 0xEA2A92F4
+        assert state[0, 1] == 0xCB1CF8CE
+        assert state[0, 2] == 0x4581472E
+        assert state[0, 3] == 0x5881C4BB
+
+    def test_rfc8439_block_function(self):
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        stream = chacha20_keystream(key, 1, nonce, 64)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert stream == expected
+
+    def test_keystream_is_deterministic_and_extending(self):
+        key = bytes(32)
+        nonce = bytes(12)
+        short = chacha20_keystream(key, 0, nonce, 32)
+        long = chacha20_keystream(key, 0, nonce, 96)
+        assert long[:32] == short
+
+    def test_prf_shape(self):
+        prf = ChaCha20Prf()
+        out = prf.expand(np.zeros((5, 16), dtype=np.uint8), 3)
+        assert out.shape == (5, 16)
+
+
+class TestSipHash:
+    def test_reference_vector_empty_message(self):
+        # From the SipHash reference implementation vectors
+        # (key = 00..0f, empty message).
+        key = bytes(range(16))
+        assert siphash24(key, b"") == 0x726FDB47DD0E0E31
+
+    def test_reference_vector_one_byte(self):
+        key = bytes(range(16))
+        assert siphash24(key, b"\x00") == 0x74F839C593DC67FD
+
+    def test_reference_vector_eight_bytes(self):
+        key = bytes(range(16))
+        assert siphash24(key, bytes(range(8))) == 0x93F5F5799A932462
+
+    def test_batch_matches_scalar(self):
+        prf = SipHashPrf()
+        rng = np.random.default_rng(3)
+        seeds = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+        out = prf.expand(seeds, 5)
+        for i in range(16):
+            lo = siphash24(seeds[i].tobytes(), (10).to_bytes(8, "little"))
+            hi = siphash24(seeds[i].tobytes(), (11).to_bytes(8, "little"))
+            expected = lo.to_bytes(8, "little") + hi.to_bytes(8, "little")
+            assert out[i].tobytes() == expected
+
+
+class TestHighwayHash:
+    def test_deterministic(self):
+        prf = HighwayHashPrf()
+        seeds = np.arange(32, dtype=np.uint8).reshape(2, 16)
+        assert np.array_equal(prf.expand(seeds, 0), prf.expand(seeds, 0))
+
+    def test_tweak_separation(self):
+        prf = HighwayHashPrf()
+        seeds = np.zeros((4, 16), dtype=np.uint8)
+        assert not np.array_equal(prf.expand(seeds, 0), prf.expand(seeds, 1))
+
+    def test_distinct_seeds_distinct_outputs(self):
+        prf = HighwayHashPrf()
+        rng = np.random.default_rng(4)
+        seeds = rng.integers(0, 256, size=(512, 16), dtype=np.uint8)
+        seeds = np.unique(seeds, axis=0)
+        out = prf.expand(seeds, 0)
+        assert np.unique(out, axis=0).shape[0] == seeds.shape[0]
