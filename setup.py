@@ -9,4 +9,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
+    extras_require={"test": ["pytest>=7", "hypothesis>=6"]},
 )

@@ -1,0 +1,23 @@
+"""GPU-accelerated DPF-PIR reproduction.
+
+Layers, bottom to top:
+
+* :mod:`repro.crypto` — numpy-vectorized PRFs (AES-128, SHA-256,
+  ChaCha20, SipHash, HighwayHash) behind one interface, with the
+  paper's Table 5 cost metadata.
+* :mod:`repro.dpf` — the Boyle--Gilboa--Ishai distributed point
+  function: key generation, full-domain evaluation, serialization.
+* :mod:`repro.gpu` — the paper's acceleration story: parallelization
+  strategies, a calibrated V100 performance model, batch/table-aware
+  strategy scheduling, and multi-GPU sharding.
+"""
+
+from repro import crypto, dpf, gpu
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "crypto",
+    "dpf",
+    "gpu",
+]

@@ -19,10 +19,6 @@ from repro.dpf.keys import CorrectionWord, DpfKey
 _U64_MASK = (1 << 64) - 1
 
 
-def _log2_ceil(value: int) -> int:
-    return max(int(value - 1).bit_length(), 0)
-
-
 def gen(
     alpha: int,
     domain_size: int,
@@ -49,7 +45,7 @@ def gen(
         raise ValueError(f"domain_size must be positive, got {domain_size}")
     if not 0 <= alpha < domain_size:
         raise ValueError(f"alpha={alpha} out of range for domain of {domain_size}")
-    n = _log2_ceil(domain_size)
+    n = ggm.log2_ceil(domain_size)
 
     seed_a = rng.integers(0, 256, size=(1, SEED_BYTES), dtype=np.uint8)
     seed_b = rng.integers(0, 256, size=(1, SEED_BYTES), dtype=np.uint8)

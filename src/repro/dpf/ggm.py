@@ -16,6 +16,15 @@ import numpy as np
 from repro.crypto.prf import Prf
 
 
+def log2_ceil(value: int) -> int:
+    """GGM-tree depth for a domain: ``ceil(log2(value))``, 0 for value <= 1.
+
+    Integer-exact (no float log), shared by key generation, key-size
+    accounting, and every GPU strategy.
+    """
+    return max(int(value - 1).bit_length(), 0)
+
+
 def prg_expand(
     prf: Prf, seeds: np.ndarray, ts: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

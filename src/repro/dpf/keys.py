@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dpf.ggm import log2_ceil
+
 _MAGIC = b"DPF1"
 _U64_MASK = (1 << 64) - 1
 
@@ -136,6 +138,6 @@ def key_size_bytes(domain_size: int, prf_name: str = "aes128") -> int:
 
     Used by the communication accounting and the batch-PIR planner.
     """
-    log_domain = max(int(np.ceil(np.log2(max(domain_size, 1)))), 0)
+    log_domain = log2_ceil(max(domain_size, 1))
     header = struct.calcsize("<4sBBIQB") + len(prf_name.encode()) + 1 + 16
     return header + log_domain * 17

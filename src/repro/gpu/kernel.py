@@ -58,6 +58,9 @@ class KernelPlan:
             table itself, which is resident across batches).
         host_bytes_in: Host->device transfer (keys).
         host_bytes_out: Device->host transfer (answer shares).
+        prf_name: Registry name of the PRF the plan's work assumes.
+        prf_cost: Relative per-block PRF cost (AES-128 = 1.0); the
+            simulator divides the device's calibrated AES rate by this.
     """
 
     strategy: str
@@ -69,6 +72,8 @@ class KernelPlan:
     peak_mem_bytes: int = 0
     host_bytes_in: int = 0
     host_bytes_out: int = 0
+    prf_name: str = "aes128"
+    prf_cost: float = 1.0
 
     @property
     def total_prf_blocks(self) -> int:

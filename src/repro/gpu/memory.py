@@ -50,6 +50,14 @@ class MemoryMeter:
         """Record release of an array's storage."""
         self.free(arr.nbytes)
 
+    def alloc_arrays(self, *arrays: np.ndarray) -> None:
+        """Record several arrays' storage as one allocation event."""
+        self.alloc(sum(arr.nbytes for arr in arrays))
+
+    def free_arrays(self, *arrays: np.ndarray) -> None:
+        """Record release of several arrays' storage at once."""
+        self.free(sum(arr.nbytes for arr in arrays))
+
     def reset(self) -> None:
         self.current = 0
         self.peak = 0

@@ -1,0 +1,155 @@
+"""Multi-GPU batch sharding (the paper's scale-out discussion, Fig. 15).
+
+Two-server PIR parallelizes trivially across devices: the table is
+replicated on every GPU and a batch of B queries is split into
+per-device shards that run independently — there is no cross-device
+communication, so batch latency is the *slowest* shard and throughput
+adds up.  :class:`MultiGpuExecutor` models exactly that: it sizes
+shards proportionally to each device's simulated best-strategy
+throughput (so heterogeneous fleets stay balanced), runs the
+:mod:`repro.gpu.scheduler` decision per shard, and can also execute the
+sharded evaluation *functionally* against real DPF keys for end-to-end
+testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.prf import Prf
+from repro.dpf.keys import DpfKey
+from repro.gpu.device import DeviceSpec
+from repro.gpu.scheduler import Scheduler, Selection
+from repro.gpu.strategies import get_strategy
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One device's slice of a multi-GPU batch."""
+
+    device_name: str
+    batch_size: int
+    selection: Selection
+
+
+@dataclass(frozen=True)
+class MultiGpuStats:
+    """Aggregate outcome of one sharded batch.
+
+    Attributes:
+        batch_size: Total queries across all shards.
+        table_entries: Table size L (replicated per device).
+        prf_name: PRF the plans assume.
+        latency_s: Max shard latency (shards run concurrently).
+        throughput_qps: ``batch_size / latency_s``.
+        shards: Per-device reports for the non-empty shards.
+    """
+
+    batch_size: int
+    table_entries: int
+    prf_name: str
+    latency_s: float
+    throughput_qps: float
+    shards: tuple[ShardReport, ...]
+
+    @property
+    def total_prf_blocks(self) -> int:
+        return sum(s.selection.stats.prf_blocks for s in self.shards)
+
+
+def _largest_remainder(total: int, weights: list[float]) -> list[int]:
+    """Split ``total`` into integer shares proportional to ``weights``."""
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        weights = [1.0] * len(weights)
+        weight_sum = float(len(weights))
+    exact = [total * w / weight_sum for w in weights]
+    shares = [int(x) for x in exact]
+    shortfall = total - sum(shares)
+    by_remainder = sorted(
+        range(len(weights)), key=lambda i: exact[i] - shares[i], reverse=True
+    )
+    for i in by_remainder[:shortfall]:
+        shares[i] += 1
+    return shares
+
+
+class MultiGpuExecutor:
+    """Shards query batches across a fleet of (possibly mixed) devices.
+
+    Args:
+        devices: One :class:`DeviceSpec` per GPU; pass the same spec N
+            times for a homogeneous N-GPU node.
+        entry_bytes: Bytes per table entry.
+    """
+
+    def __init__(self, devices: list[DeviceSpec] | DeviceSpec, entry_bytes: int = 8):
+        if isinstance(devices, DeviceSpec):
+            devices = [devices]
+        if not devices:
+            raise ValueError("need at least one device")
+        self.devices = list(devices)
+        self.schedulers = [Scheduler(d, entry_bytes=entry_bytes) for d in self.devices]
+
+    def _shard_sizes(
+        self, batch_size: int, table_entries: int, prf_name: str
+    ) -> list[int]:
+        """Throughput-proportional shard sizes (largest-remainder)."""
+        probe = max(1, batch_size // len(self.devices))
+        weights = [
+            sched.throughput_qps(probe, table_entries, prf_name)
+            for sched in self.schedulers
+        ]
+        return _largest_remainder(batch_size, weights)
+
+    def execute(
+        self, batch_size: int, table_entries: int, prf_name: str = "aes128"
+    ) -> MultiGpuStats:
+        """Simulate one sharded batch; see :class:`MultiGpuStats`."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        shares = self._shard_sizes(batch_size, table_entries, prf_name)
+        shards = []
+        for device, scheduler, share in zip(self.devices, self.schedulers, shares):
+            if share == 0:
+                continue
+            selection = scheduler.select(share, table_entries, prf_name)
+            shards.append(
+                ShardReport(device_name=device.name, batch_size=share, selection=selection)
+            )
+        latency = max(s.selection.stats.latency_s for s in shards)
+        return MultiGpuStats(
+            batch_size=batch_size,
+            table_entries=table_entries,
+            prf_name=prf_name,
+            latency_s=latency,
+            throughput_qps=batch_size / latency if latency > 0 else 0.0,
+            shards=tuple(shards),
+        )
+
+    def eval_batch(self, keys: list[DpfKey], prf: Prf) -> np.ndarray:
+        """Functionally evaluate a key batch with the per-shard winners.
+
+        Shards the keys exactly as :meth:`execute` would shard the
+        batch, runs each shard through its scheduler-selected strategy,
+        and concatenates the ``(B, L)`` share matrix in input order.
+        """
+        if not keys:
+            raise ValueError("need at least one key")
+        table_entries = keys[0].domain_size
+        if any(k.domain_size != table_entries for k in keys):
+            raise ValueError("all keys in a batch must share the same domain")
+        shares = self._shard_sizes(len(keys), table_entries, prf.name)
+        outputs = []
+        start = 0
+        for scheduler, share in zip(self.schedulers, shares):
+            if share == 0:
+                continue
+            shard_keys = keys[start : start + share]
+            start += share
+            selection = scheduler.select(share, table_entries, prf.name)
+            strategy = get_strategy(selection.strategy)
+            outputs.append(strategy.eval_batch(shard_keys, prf))
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,124 @@
+"""Wave-level SIMT performance model for kernel plans.
+
+Prices a :class:`~repro.gpu.kernel.KernelPlan` on a
+:class:`~repro.gpu.device.DeviceSpec` and returns
+:class:`~repro.gpu.kernel.KernelStats`.  The model is deliberately
+simple but captures every first-order effect the paper measures:
+
+* **Occupancy** — each phase's block shape is run through the CUDA
+  occupancy calculation (:meth:`DeviceSpec.occupancy`); a shape that
+  cannot launch makes the whole plan infeasible.
+* **Exposed parallelism** — a phase whose ``parallel_width`` is below
+  the device's resident-thread count cannot fill the machine, so its
+  effective PRF/MAC rate scales down proportionally.  This is what
+  makes the top tree levels latency-bound and small batches slow
+  (the paper's Figures 8 and 9).
+* **Roofline** — each phase costs the *maximum* of its compute time and
+  its global-memory time, never the sum.
+* **Fixed overheads** — kernel launches, device-wide syncs, a
+  calibrated per-query cost, and PCIe transfers for keys in and answer
+  shares out.
+* **Capacity** — a plan whose working set does not fit beside the
+  resident table is reported with ``feasible=False`` (its timing
+  fields are then upper bounds, as documented on ``KernelStats``).
+
+The V100 constants in :mod:`repro.gpu.device` make the fused
+memory-bounded kernel land on the paper's Table 4 calibration point
+(1,358 QPS for AES-128 over a 1M-entry table); the test suite asserts
+that to within 10%.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec, V100
+from repro.gpu.kernel import KernelPhase, KernelPlan, KernelStats
+
+
+class GpuSimulator:
+    """Prices kernel plans on one device.
+
+    Args:
+        device: The device model to simulate (default: the paper's
+            calibrated V100).
+    """
+
+    def __init__(self, device: DeviceSpec = V100):
+        self.device = device
+
+    def free_mem_bytes(self, plan: KernelPlan) -> int:
+        """Device memory left for the plan after the resident table."""
+        return self.device.global_mem_bytes - plan.table_entries * plan.entry_bytes
+
+    def _phase_rate_factor(self, phase: KernelPhase) -> tuple[float, bool]:
+        """Fraction of peak device throughput a phase can sustain.
+
+        Returns:
+            ``(factor, launchable)`` where ``factor`` is in (0, 1] and
+            ``launchable`` is False for block shapes the device rejects
+            (those are priced at full rate but mark the plan
+            infeasible).
+        """
+        device = self.device
+        occ = device.occupancy(phase.threads_per_block, phase.shared_mem_per_block)
+        if occ <= 0.0:
+            return 1.0, False
+        resident = device.total_threads * occ
+        active = min(max(phase.parallel_width, 1), resident)
+        return active / device.total_threads, True
+
+    def simulate(self, plan: KernelPlan) -> KernelStats:
+        """Price a plan; see the module docstring for the cost model."""
+        device = self.device
+        prf_rate = device.prf_rate(plan.prf_cost)
+
+        compute_time = 0.0
+        memory_time = 0.0
+        elapsed = 0.0
+        launches = 0
+        syncs = 0
+        prf_blocks = 0
+        util_weighted = 0.0
+        util_weight = 0.0
+        launchable = True
+
+        for phase in plan.phases:
+            factor, ok = self._phase_rate_factor(phase)
+            launchable = launchable and ok
+            prf_time = phase.prf_blocks / (prf_rate * factor) if phase.prf_blocks else 0.0
+            mac_time = (
+                phase.mac_ops / (device.int_mac_rate * factor) if phase.mac_ops else 0.0
+            )
+            phase_compute = prf_time + mac_time
+            phase_memory = (phase.bytes_read + phase.bytes_written) / device.mem_bandwidth
+            compute_time += phase_compute
+            memory_time += phase_memory
+            elapsed += max(phase_compute, phase_memory)
+            launches += phase.launches
+            syncs += phase.syncs
+            prf_blocks += phase.prf_blocks
+            if prf_time > 0.0:
+                util_weighted += prf_time * factor
+                util_weight += prf_time
+
+        overhead = (
+            launches * device.kernel_launch_overhead
+            + syncs * device.sync_overhead
+            + plan.batch_size * device.per_query_overhead
+        )
+        transfer = (plan.host_bytes_in + plan.host_bytes_out) / device.pcie_bandwidth
+        latency = elapsed + overhead + transfer
+
+        feasible = launchable and plan.fits(self.free_mem_bytes(plan))
+        utilization = util_weighted / util_weight if util_weight > 0.0 else 0.0
+        throughput = plan.batch_size / latency if latency > 0.0 else 0.0
+        return KernelStats(
+            latency_s=latency,
+            throughput_qps=throughput,
+            utilization=utilization,
+            peak_mem_bytes=plan.peak_mem_bytes,
+            prf_blocks=prf_blocks,
+            compute_time_s=compute_time,
+            memory_time_s=memory_time,
+            overhead_time_s=overhead + transfer,
+            feasible=feasible,
+        )

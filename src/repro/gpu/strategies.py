@@ -1,0 +1,770 @@
+"""Functional GPU kernels: the paper's DPF parallelization strategies.
+
+Section 3.2 of the paper explores four ways to map the GGM-tree
+expansion of a DPF onto a SIMT device, trading PRF recomputation
+against live memory (Figure 6):
+
+* :class:`BranchParallel` — one thread per *leaf*; every thread walks
+  root->leaf independently.  Maximum parallelism from the first wave
+  and no intermediate storage on a real GPU (the path seed lives in a
+  register), at the price of O(L log L) PRF work per query.
+* :class:`LevelByLevel` — the textbook breadth-first expansion; O(L)
+  PRF work but the whole frontier is materialized in global memory,
+  O(B L) bytes for a batch of B queries, plus an unfused second kernel
+  for the table dot product.
+* :class:`MemoryBoundedTree` — expand the top of the tree to a frontier
+  of K subtree roots, then depth-first traverse the K subtrees in
+  parallel lanes with an explicit per-level stack: O(L) PRF work with
+  only O(B K log L) live bytes, fused with the dot product.  This is
+  the paper's headline kernel and its Table 4 calibration target.
+* :class:`CooperativeGroups` — a single cooperative launch that keeps
+  each subtree tile resident in shared memory, paying occupancy (the
+  tile evicts resident blocks) instead of global-memory traffic.
+
+Every strategy is implemented as a *real* vectorized-numpy traversal
+that is bit-identical to :func:`repro.dpf.dpf.eval_full`, meters its
+buffers through :class:`~repro.gpu.memory.MemoryMeter`, and can emit a
+:class:`~repro.gpu.kernel.KernelPlan` for the performance model in
+:mod:`repro.gpu.sim`.  The meter tracks the *functional* working set;
+for the fused strategies the converted output shares are accumulated
+straight into the dot product on a real device and are therefore not
+metered (the Figure 6 bounds concern the expansion working set).
+
+A registry mirrors :mod:`repro.crypto.prf`:
+:func:`available_strategies` / :func:`get_strategy`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.prf import Prf, get_prf
+from repro.dpf import ggm
+from repro.dpf.keys import DpfKey, key_size_bytes
+from repro.gpu.kernel import KernelPhase, KernelPlan
+from repro.gpu.memory import MemoryMeter
+
+NODE_BYTES = 17
+"""Metered bytes per live tree node: a 16-byte seed plus its control bit."""
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Analytic cost of one strategy invocation (Figure 6 quantities).
+
+    ``prf_blocks`` is exact — tests assert it against a
+    :class:`~repro.crypto.prf.CountingPrf`.  ``peak_mem_bytes`` is the
+    analytic working-set peak the functional kernel's
+    :class:`~repro.gpu.memory.MemoryMeter` must match exactly.
+
+    Attributes:
+        strategy: Registry name.
+        batch_size: Queries per invocation B.
+        domain_size: Table size L.
+        prf_blocks: Total PRF block evaluations.
+        peak_mem_bytes: Peak live bytes of the expansion working set.
+        parallel_width: Maximum exposed parallelism (work items).
+    """
+
+    strategy: str
+    batch_size: int
+    domain_size: int
+    prf_blocks: int
+    peak_mem_bytes: int
+    parallel_width: int
+
+
+@dataclass(frozen=True)
+class _KeyBatch:
+    """Stacked key material for vectorized multi-key evaluation."""
+
+    batch: int
+    depth: int
+    domain_size: int
+    roots: np.ndarray  # (B, 16) uint8
+    root_ts: np.ndarray  # (B,) uint8
+    cw_seeds: np.ndarray  # (B, n, 16) uint8
+    cw_t_left: np.ndarray  # (B, n) uint8
+    cw_t_right: np.ndarray  # (B, n) uint8
+    output_cws: np.ndarray  # (B,) uint64
+    negate: np.ndarray  # (B,) bool — party-1 rows get sign-flipped
+
+
+def _stack_keys(keys: list[DpfKey], prf: Prf) -> _KeyBatch:
+    if not keys:
+        raise ValueError("need at least one key")
+    first = keys[0]
+    for key in keys:
+        if key.prf_name != prf.name:
+            raise ValueError(
+                f"key was generated for PRF {key.prf_name!r} but evaluation "
+                f"uses {prf.name!r}; the parties would not reconstruct"
+            )
+        if (key.domain_size, key.log_domain) != (first.domain_size, first.log_domain):
+            raise ValueError("all keys in a batch must share the same domain")
+    b, n = len(keys), first.log_domain
+    cw_seeds = np.zeros((b, n, 16), dtype=np.uint8)
+    cw_tl = np.zeros((b, n), dtype=np.uint8)
+    cw_tr = np.zeros((b, n), dtype=np.uint8)
+    for i, key in enumerate(keys):
+        for level, cw in enumerate(key.correction_words):
+            cw_seeds[i, level] = cw.seed
+            cw_tl[i, level] = cw.t_left
+            cw_tr[i, level] = cw.t_right
+    return _KeyBatch(
+        batch=b,
+        depth=n,
+        domain_size=first.domain_size,
+        roots=np.stack([k.root_seed for k in keys]),
+        root_ts=np.array([k.root_t for k in keys], dtype=np.uint8),
+        cw_seeds=cw_seeds,
+        cw_t_left=cw_tl,
+        cw_t_right=cw_tr,
+        output_cws=np.array([k.output_cw for k in keys], dtype=np.uint64),
+        negate=np.array([k.party == 1 for k in keys]),
+    )
+
+
+def _expand_level_batch(
+    prf: Prf,
+    seeds: np.ndarray,  # (B, W, 16)
+    ts: np.ndarray,  # (B, W)
+    cw_seed: np.ndarray,  # (B, 16)
+    cw_t_left: np.ndarray,  # (B,)
+    cw_t_right: np.ndarray,  # (B,)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`repro.dpf.ggm.expand_level` with per-key corrections."""
+    b, w, _ = seeds.shape
+    flat = seeds.reshape(b * w, 16)
+    left = prf.expand(flat, 0).reshape(b, w, 16)
+    right = prf.expand(flat, 1).reshape(b, w, 16)
+    t_left = left[:, :, 0] & 1
+    t_right = right[:, :, 0] & 1
+    mask = ts[:, :, np.newaxis]
+    left = left ^ (cw_seed[:, np.newaxis, :] * mask)
+    right = right ^ (cw_seed[:, np.newaxis, :] * mask)
+    t_left = (t_left ^ (ts & cw_t_left[:, np.newaxis])).astype(np.uint8)
+    t_right = (t_right ^ (ts & cw_t_right[:, np.newaxis])).astype(np.uint8)
+    out_seeds = np.empty((b, 2 * w, 16), dtype=np.uint8)
+    out_seeds[:, 0::2] = left
+    out_seeds[:, 1::2] = right
+    out_ts = np.empty((b, 2 * w), dtype=np.uint8)
+    out_ts[:, 0::2] = t_left
+    out_ts[:, 1::2] = t_right
+    return out_seeds, out_ts
+
+
+def _leaf_values_batch(
+    seeds: np.ndarray,  # (B, W, 16)
+    ts: np.ndarray,  # (B, W)
+    output_cws: np.ndarray,  # (B,) uint64
+    negate: np.ndarray,  # (B,) bool
+) -> np.ndarray:
+    """Batched :func:`repro.dpf.ggm.leaf_values` (bit-identical math)."""
+    b, w, _ = seeds.shape
+    values = ggm.convert_to_u64(seeds.reshape(b * w, 16)).reshape(b, w)
+    values = values + ts.astype(np.uint64) * output_cws[:, np.newaxis]
+    values[negate] = np.uint64(0) - values[negate]
+    return values
+
+
+class Strategy(abc.ABC):
+    """A DPF full-domain-evaluation parallelization strategy.
+
+    Subclasses implement the functional traversal (:meth:`_eval`), the
+    analytic cost model (:meth:`cost`), and the device execution recipe
+    (:meth:`plan`).
+    """
+
+    name: str = "abstract"
+    fused: bool = True
+    threads_per_block: int = 256
+    shared_mem_per_block: int = 0
+
+    def eval_full(
+        self, key: DpfKey, prf: Prf, meter: MemoryMeter | None = None
+    ) -> np.ndarray:
+        """Expand one key over the whole domain; ``(L,)`` uint64 shares."""
+        return self.eval_batch([key], prf, meter)[0]
+
+    def eval_batch(
+        self, keys: list[DpfKey], prf: Prf, meter: MemoryMeter | None = None
+    ) -> np.ndarray:
+        """Expand a batch of same-domain keys; ``(B, L)`` uint64 shares.
+
+        All device-side expansion buffers are reported to ``meter``; the
+        meter's ``current`` returns to zero before this method returns
+        (buffers are released once the answer shares leave the device).
+        """
+        batch = _stack_keys(list(keys), prf)
+        meter = meter if meter is not None else MemoryMeter()
+        return self._eval(batch, prf, meter)
+
+    @abc.abstractmethod
+    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+        """Strategy-specific traversal over a stacked key batch."""
+
+    @abc.abstractmethod
+    def cost(self, batch_size: int, domain_size: int) -> StrategyCost:
+        """Analytic PRF-work and peak-memory model for one invocation."""
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        batch_size: int,
+        table_entries: int,
+        entry_bytes: int = 8,
+        prf_name: str = "aes128",
+    ) -> KernelPlan:
+        """Device execution recipe for the simulator.
+
+        Unlike :meth:`cost` (which mirrors the functional kernel's
+        metered buffers), the plan's ``peak_mem_bytes`` models the real
+        device: branch-parallel path seeds live in registers and
+        cooperative-groups tiles in shared memory, so neither occupies
+        global memory.
+        """
+
+    # -- shared pieces -------------------------------------------------
+
+    @staticmethod
+    def _depth(domain_size: int) -> int:
+        if domain_size <= 0:
+            raise ValueError(f"domain_size must be positive, got {domain_size}")
+        return ggm.log2_ceil(domain_size)
+
+    def _plan_common(
+        self, batch_size: int, table_entries: int, entry_bytes: int, prf_name: str
+    ) -> dict:
+        return dict(
+            strategy=self.name,
+            batch_size=batch_size,
+            table_entries=table_entries,
+            entry_bytes=entry_bytes,
+            fused=self.fused,
+            host_bytes_in=batch_size * key_size_bytes(table_entries, prf_name),
+            host_bytes_out=batch_size * entry_bytes,
+            prf_name=prf_name,
+            prf_cost=get_prf(prf_name).gpu_cost,
+        )
+
+    def _alloc_root(self, kb: _KeyBatch, meter: MemoryMeter) -> tuple[np.ndarray, np.ndarray]:
+        seeds = meter.alloc_array(kb.roots[:, np.newaxis, :].copy())
+        ts = meter.alloc_array(kb.root_ts[:, np.newaxis].copy())
+        return seeds, ts
+
+    def _expand_to_level(
+        self,
+        kb: _KeyBatch,
+        prf: Prf,
+        meter: MemoryMeter,
+        stop_level: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Breadth-first expansion of the batch down to ``stop_level``."""
+        seeds, ts = self._alloc_root(kb, meter)
+        for level in range(stop_level):
+            new_seeds, new_ts = _expand_level_batch(
+                prf,
+                seeds,
+                ts,
+                kb.cw_seeds[:, level],
+                kb.cw_t_left[:, level],
+                kb.cw_t_right[:, level],
+            )
+            meter.alloc_arrays(new_seeds, new_ts)
+            meter.free_arrays(seeds, ts)
+            seeds, ts = new_seeds, new_ts
+        return seeds, ts
+
+    @staticmethod
+    def _bfs_peak_bytes(batch_size: int, depth: int) -> int:
+        """Peak metered bytes of `_expand_to_level(..., depth)` alone."""
+        if depth == 0:
+            return NODE_BYTES * batch_size
+        # Parent frontier plus freshly-allocated children at the last level.
+        return NODE_BYTES * batch_size * (2 ** (depth - 1) + 2**depth)
+
+
+_REGISTRY: dict[str, type[Strategy]] = {}
+
+
+def register_strategy(cls: type[Strategy]) -> type[Strategy]:
+    """Class decorator adding a strategy to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered parallelization strategies."""
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str, **params) -> Strategy:
+    """Instantiate a registered strategy by name.
+
+    Args:
+        name: Registry name, e.g. ``"memory_bounded"``.
+        **params: Forwarded to the strategy constructor (e.g.
+            ``log_subtrees`` for :class:`MemoryBoundedTree`).
+
+    Raises:
+        KeyError: If ``name`` is not registered.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown strategy {name!r}; available: {available_strategies()}")
+    return _REGISTRY[name](**params)
+
+
+@register_strategy
+class BranchParallel(Strategy):
+    """One lane per leaf; every lane recomputes its root->leaf path.
+
+    O(L log L) PRF blocks per query but no dependence between lanes:
+    the whole batch is exposed as ``B * L`` parallel work items from the
+    first wave, and a real kernel keeps the path seed in a register.
+    Wins on small tables where the per-level launch/sync overheads of
+    the breadth-first strategies dominate.
+    """
+
+    name = "branch_parallel"
+    fused = True
+
+    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+        b, n, domain = kb.batch, kb.depth, kb.domain_size
+        leaf_idx = np.arange(domain, dtype=np.int64)
+        seeds = meter.alloc_array(
+            np.broadcast_to(kb.roots[:, np.newaxis, :], (b, domain, 16)).copy()
+        )
+        ts = meter.alloc_array(np.broadcast_to(kb.root_ts[:, np.newaxis], (b, domain)).copy())
+        for level in range(n):
+            bits = ((leaf_idx >> (n - 1 - level)) & 1).astype(np.uint8)
+            flat = seeds.reshape(b * domain, 16)
+            children = np.empty_like(flat)
+            go_left = np.tile(bits == 0, b)
+            if go_left.any():
+                children[go_left] = prf.expand(flat[go_left], 0)
+            go_right = ~go_left
+            if go_right.any():
+                children[go_right] = prf.expand(flat[go_right], 1)
+            meter.alloc(children.nbytes + b * domain)
+            child_ts = (children[:, 0] & 1).reshape(b, domain)
+            children = children.reshape(b, domain, 16)
+            children ^= kb.cw_seeds[:, level][:, np.newaxis, :] * ts[:, :, np.newaxis]
+            cw_t = np.where(
+                bits[np.newaxis, :] == 0,
+                kb.cw_t_left[:, level][:, np.newaxis],
+                kb.cw_t_right[:, level][:, np.newaxis],
+            ).astype(np.uint8)
+            child_ts = (child_ts ^ (ts & cw_t)).astype(np.uint8)
+            meter.free_arrays(seeds, ts)
+            seeds, ts = children, child_ts
+        values = _leaf_values_batch(seeds, ts, kb.output_cws, kb.negate)
+        meter.free_arrays(seeds, ts)
+        return values
+
+    def cost(self, batch_size: int, domain_size: int) -> StrategyCost:
+        n = self._depth(domain_size)
+        peak = NODE_BYTES * batch_size * domain_size * (2 if n >= 1 else 1)
+        return StrategyCost(
+            strategy=self.name,
+            batch_size=batch_size,
+            domain_size=domain_size,
+            prf_blocks=batch_size * domain_size * n,
+            peak_mem_bytes=peak,
+            parallel_width=batch_size * domain_size,
+        )
+
+    def plan(
+        self,
+        batch_size: int,
+        table_entries: int,
+        entry_bytes: int = 8,
+        prf_name: str = "aes128",
+    ) -> KernelPlan:
+        n = self._depth(table_entries)
+        width = batch_size * table_entries
+        phase = KernelPhase(
+            label="branch-walk+mac",
+            prf_blocks=batch_size * table_entries * n,
+            parallel_width=width,
+            bytes_read=batch_size * n * NODE_BYTES
+            + batch_size * table_entries * entry_bytes,
+            bytes_written=batch_size * entry_bytes,
+            mac_ops=batch_size * table_entries * max(1, entry_bytes // 8),
+            launches=1,
+            syncs=0,
+            threads_per_block=self.threads_per_block,
+            shared_mem_per_block=self.shared_mem_per_block,
+        )
+        # Path seeds live in registers; global memory holds only the
+        # staged keys and the per-query accumulators.
+        peak = batch_size * (key_size_bytes(table_entries, prf_name) + entry_bytes)
+        return KernelPlan(
+            phases=[phase],
+            peak_mem_bytes=peak,
+            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+        )
+
+
+@register_strategy
+class LevelByLevel(Strategy):
+    """Breadth-first expansion with the frontier in global memory.
+
+    O(L) PRF blocks but O(B L) live bytes, one kernel launch per level,
+    and an unfused conversion + dot-product pass that re-reads the
+    materialized shares from global memory.
+    """
+
+    name = "level_by_level"
+    fused = False
+
+    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+        seeds, ts = self._expand_to_level(kb, prf, meter, kb.depth)
+        values = _leaf_values_batch(seeds, ts, kb.output_cws, kb.negate)
+        meter.alloc_array(values)  # unfused: shares are materialized
+        meter.free_arrays(seeds, ts)
+        result = values[:, : kb.domain_size].copy() if kb.domain_size < values.shape[1] else values
+        meter.free_array(values)
+        return result
+
+    def cost(self, batch_size: int, domain_size: int) -> StrategyCost:
+        n = self._depth(domain_size)
+        leaves = 2**n
+        peak = max(
+            self._bfs_peak_bytes(batch_size, n),
+            NODE_BYTES * batch_size * leaves + 8 * batch_size * leaves,
+        )
+        return StrategyCost(
+            strategy=self.name,
+            batch_size=batch_size,
+            domain_size=domain_size,
+            prf_blocks=batch_size * (2 ** (n + 1) - 2),
+            peak_mem_bytes=peak,
+            parallel_width=batch_size * leaves,
+        )
+
+    def plan(
+        self,
+        batch_size: int,
+        table_entries: int,
+        entry_bytes: int = 8,
+        prf_name: str = "aes128",
+    ) -> KernelPlan:
+        n = self._depth(table_entries)
+        leaves = 2**n
+        phases = [
+            KernelPhase(
+                label=f"level-{level}",
+                prf_blocks=batch_size * 2**level,
+                parallel_width=batch_size * 2**level,
+                bytes_read=batch_size * 2 ** (level - 1) * NODE_BYTES + NODE_BYTES,
+                bytes_written=batch_size * 2**level * NODE_BYTES,
+                launches=1,
+                syncs=1,
+                threads_per_block=self.threads_per_block,
+            )
+            for level in range(1, n + 1)
+        ]
+        phases.append(
+            KernelPhase(
+                label="convert+mac",
+                prf_blocks=0,
+                parallel_width=batch_size * table_entries,
+                bytes_read=batch_size * leaves * NODE_BYTES
+                + batch_size * leaves * 8
+                + table_entries * entry_bytes,
+                bytes_written=batch_size * leaves * 8 + batch_size * entry_bytes,
+                mac_ops=batch_size * table_entries * max(1, entry_bytes // 8),
+                launches=2,
+                syncs=1,
+                threads_per_block=self.threads_per_block,
+            )
+        )
+        return KernelPlan(
+            phases=phases,
+            peak_mem_bytes=self.cost(batch_size, table_entries).peak_mem_bytes,
+            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+        )
+
+
+@register_strategy
+class MemoryBoundedTree(Strategy):
+    """Top-of-tree breadth-first, then depth-first subtree lanes.
+
+    The top ``k = log2(K)`` levels are expanded breadth-first to a
+    frontier of K subtree roots per query; the K subtrees then run as
+    parallel lanes, each walking its subtree depth-first with an
+    explicit stack of at most ``d = n - k`` sibling nodes.  Live memory
+    is O(B K log L) while PRF work stays at the optimal 2(L-1) blocks
+    per query, and the leaf shares feed the table dot product in
+    registers (fused — the paper's Table 4 kernel).
+
+    Subtrees that lie entirely outside a non-power-of-two domain are
+    never traversed.
+
+    Args:
+        log_subtrees: log2 of the per-query subtree count K (clamped to
+            the tree depth).
+    """
+
+    name = "memory_bounded"
+    fused = True
+
+    def __init__(self, log_subtrees: int = 9):
+        if log_subtrees < 0:
+            raise ValueError("log_subtrees must be non-negative")
+        self.log_subtrees = log_subtrees
+
+    def _split(self, domain_size: int) -> tuple[int, int, int]:
+        """Return (k, d, active_subtrees) for a domain."""
+        n = self._depth(domain_size)
+        k = min(self.log_subtrees, n)
+        d = n - k
+        active = _ceil_div(domain_size, 2**d)
+        return k, d, active
+
+    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+        b, domain = kb.batch, kb.domain_size
+        k, d, active = self._split(domain)
+        seeds, ts = self._expand_to_level(kb, prf, meter, k)
+        if active < seeds.shape[1]:
+            lane_seeds = seeds[:, :active].copy()
+            lane_ts = ts[:, :active].copy()
+            meter.alloc(lane_seeds.nbytes + lane_ts.nbytes)
+            meter.free_arrays(seeds, ts)
+        else:
+            lane_seeds, lane_ts = seeds, ts
+
+        out = np.empty((b, active, 2**d), dtype=np.uint64)
+        cw_seeds_l = [np.repeat(kb.cw_seeds[:, k + j], active, axis=0) for j in range(d)]
+        cw_tl_l = [np.repeat(kb.cw_t_left[:, k + j], active) for j in range(d)]
+        cw_tr_l = [np.repeat(kb.cw_t_right[:, k + j], active) for j in range(d)]
+        next_leaf = [0]
+
+        def emit(seeds_f: np.ndarray, ts_f: np.ndarray) -> None:
+            values = ggm.convert_to_u64(seeds_f).reshape(b, active)
+            values = values + ts_f.reshape(b, active).astype(np.uint64) * kb.output_cws[
+                :, np.newaxis
+            ]
+            values[kb.negate] = np.uint64(0) - values[kb.negate]
+            out[:, :, next_leaf[0]] = values
+            next_leaf[0] += 1
+
+        def descend(seeds_f: np.ndarray, ts_f: np.ndarray, level: int) -> None:
+            if level == d:
+                emit(seeds_f, ts_f)
+                return
+            left = prf.expand(seeds_f, 0)
+            right = prf.expand(seeds_f, 1)
+            t_left = left[:, 0] & 1
+            t_right = right[:, 0] & 1
+            mask = ts_f[:, np.newaxis]
+            left ^= cw_seeds_l[level] * mask
+            right ^= cw_seeds_l[level] * mask
+            t_left = (t_left ^ (ts_f & cw_tl_l[level])).astype(np.uint8)
+            t_right = (t_right ^ (ts_f & cw_tr_l[level])).astype(np.uint8)
+            meter.alloc(left.nbytes + t_left.nbytes + right.nbytes + t_right.nbytes)
+            descend(left, t_left, level + 1)
+            meter.free(left.nbytes + t_left.nbytes)
+            descend(right, t_right, level + 1)
+            meter.free(right.nbytes + t_right.nbytes)
+
+        descend(lane_seeds.reshape(b * active, 16), lane_ts.reshape(b * active), 0)
+        meter.free_arrays(lane_seeds, lane_ts)
+        flat = out.reshape(b, active * 2**d)
+        return flat[:, :domain].copy() if domain < flat.shape[1] else flat
+
+    def cost(self, batch_size: int, domain_size: int) -> StrategyCost:
+        k, d, active = self._split(domain_size)
+        lanes = batch_size * active
+        candidates = [self._bfs_peak_bytes(batch_size, k)]
+        if active < 2**k:
+            candidates.append(NODE_BYTES * batch_size * (2**k + active))
+        candidates.append(NODE_BYTES * lanes * (1 + 2 * d))
+        blocks = batch_size * (2 ** (k + 1) - 2) + 2 * lanes * (2**d - 1)
+        return StrategyCost(
+            strategy=self.name,
+            batch_size=batch_size,
+            domain_size=domain_size,
+            prf_blocks=blocks,
+            peak_mem_bytes=max(candidates),
+            parallel_width=lanes,
+        )
+
+    def plan(
+        self,
+        batch_size: int,
+        table_entries: int,
+        entry_bytes: int = 8,
+        prf_name: str = "aes128",
+    ) -> KernelPlan:
+        k, d, active = self._split(table_entries)
+        lanes = batch_size * active
+        phases = [
+            KernelPhase(
+                label=f"top-level-{level}",
+                prf_blocks=batch_size * 2**level,
+                parallel_width=batch_size * 2**level,
+                bytes_read=batch_size * 2 ** (level - 1) * NODE_BYTES + NODE_BYTES,
+                bytes_written=batch_size * 2**level * NODE_BYTES,
+                launches=1,
+                syncs=1,
+                threads_per_block=self.threads_per_block,
+            )
+            for level in range(1, k + 1)
+        ]
+        phases.append(
+            KernelPhase(
+                label="subtree-dfs+mac",
+                prf_blocks=2 * lanes * (2**d - 1),
+                parallel_width=lanes,
+                bytes_read=lanes * NODE_BYTES
+                + batch_size * table_entries * entry_bytes,
+                bytes_written=batch_size * entry_bytes,
+                mac_ops=batch_size * table_entries * max(1, entry_bytes // 8),
+                launches=1,
+                syncs=0,
+                threads_per_block=self.threads_per_block,
+            )
+        )
+        # Device footprint: the breadth-first frontier plus each lane's
+        # depth-first stack (spilled to local memory).
+        peak = NODE_BYTES * batch_size * 2**k + NODE_BYTES * lanes * (1 + d)
+        return KernelPlan(
+            phases=phases,
+            peak_mem_bytes=peak,
+            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+        )
+
+
+@register_strategy
+class CooperativeGroups(Strategy):
+    """Single cooperative launch with shared-memory subtree tiles.
+
+    The top of the tree is expanded with grid-wide syncs instead of
+    kernel relaunches; each bottom subtree of ``T`` leaves is then
+    expanded entirely inside one block's shared-memory tile (double
+    buffered), so intermediate levels never touch global memory.  The
+    tile's shared-memory demand evicts resident blocks, which the
+    simulator prices as reduced occupancy.
+
+    Args:
+        log_tile: log2 of the tile's leaf count T (clamped to the tree
+            depth).
+    """
+
+    name = "cooperative_groups"
+    fused = True
+
+    def __init__(self, log_tile: int = 9):
+        if log_tile < 0:
+            raise ValueError("log_tile must be non-negative")
+        self.log_tile = log_tile
+
+    @property
+    def tile_leaves(self) -> int:
+        return 2**self.log_tile
+
+    def _split(self, domain_size: int) -> tuple[int, int, int]:
+        """Return (top_depth m, tile_depth t, active_tiles)."""
+        n = self._depth(domain_size)
+        t = min(self.log_tile, n)
+        m = n - t
+        active = _ceil_div(domain_size, 2**t)
+        return m, t, active
+
+    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+        b, domain = kb.batch, kb.domain_size
+        m, t, active = self._split(domain)
+        frontier_seeds, frontier_ts = self._expand_to_level(kb, prf, meter, m)
+        out = np.empty((b, active * 2**t), dtype=np.uint64)
+        for tile in range(active):
+            seeds = meter.alloc_array(frontier_seeds[:, tile : tile + 1].copy())
+            ts = meter.alloc_array(frontier_ts[:, tile : tile + 1].copy())
+            for j in range(t):
+                level = m + j
+                new_seeds, new_ts = _expand_level_batch(
+                    prf,
+                    seeds,
+                    ts,
+                    kb.cw_seeds[:, level],
+                    kb.cw_t_left[:, level],
+                    kb.cw_t_right[:, level],
+                )
+                meter.alloc_arrays(new_seeds, new_ts)
+                meter.free_arrays(seeds, ts)
+                seeds, ts = new_seeds, new_ts
+            values = _leaf_values_batch(seeds, ts, kb.output_cws, kb.negate)
+            out[:, tile * 2**t : (tile + 1) * 2**t] = values
+            meter.free_arrays(seeds, ts)
+        meter.free_arrays(frontier_seeds, frontier_ts)
+        return out[:, :domain].copy() if domain < out.shape[1] else out
+
+    def cost(self, batch_size: int, domain_size: int) -> StrategyCost:
+        m, t, active = self._split(domain_size)
+        frontier = NODE_BYTES * batch_size * 2**m
+        tile_peak = self._bfs_peak_bytes(batch_size, t)
+        peak = max(self._bfs_peak_bytes(batch_size, m), frontier + tile_peak)
+        blocks = batch_size * (2 ** (m + 1) - 2) + active * batch_size * 2 * (2**t - 1)
+        return StrategyCost(
+            strategy=self.name,
+            batch_size=batch_size,
+            domain_size=domain_size,
+            prf_blocks=blocks,
+            peak_mem_bytes=peak,
+            parallel_width=batch_size * active * 2**t,
+        )
+
+    def plan(
+        self,
+        batch_size: int,
+        table_entries: int,
+        entry_bytes: int = 8,
+        prf_name: str = "aes128",
+    ) -> KernelPlan:
+        m, t, active = self._split(table_entries)
+        tile = 2**t
+        shared = 2 * tile * NODE_BYTES  # double-buffered tile
+        phases = [
+            KernelPhase(
+                label=f"coop-level-{level}",
+                prf_blocks=batch_size * 2**level,
+                parallel_width=batch_size * 2**level,
+                bytes_read=batch_size * 2 ** (level - 1) * NODE_BYTES + NODE_BYTES,
+                bytes_written=batch_size * 2**level * NODE_BYTES,
+                launches=1 if level == 1 else 0,
+                syncs=1,  # grid-wide sync, not a relaunch
+                threads_per_block=self.threads_per_block,
+                shared_mem_per_block=shared,
+            )
+            for level in range(1, m + 1)
+        ]
+        phases.append(
+            KernelPhase(
+                label="tile-expand+mac",
+                prf_blocks=active * batch_size * 2 * (tile - 1),
+                parallel_width=batch_size * active * tile,
+                bytes_read=batch_size * 2**m * NODE_BYTES
+                + batch_size * table_entries * entry_bytes,
+                bytes_written=batch_size * entry_bytes,
+                mac_ops=batch_size * table_entries * max(1, entry_bytes // 8),
+                launches=1 if m == 0 else 0,
+                syncs=0,
+                threads_per_block=self.threads_per_block,
+                shared_mem_per_block=shared,
+            )
+        )
+        # Tiles stay in shared memory; global memory holds the frontier.
+        peak = NODE_BYTES * batch_size * 2**m + batch_size * entry_bytes
+        return KernelPlan(
+            phases=phases,
+            peak_mem_bytes=peak,
+            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+        )

@@ -1,0 +1,70 @@
+"""Property-based round-trip tests for the DPF core.
+
+Complements the example-based suite in ``test_dpf.py`` with the
+invariants that must hold for *every* (alpha, beta, domain, PRF)
+combination: reconstruction is exactly the scaled one-hot vector,
+point evaluation agrees with full expansion, and key generation is a
+deterministic function of the RNG state.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dpf import DpfKey, eval_full, eval_points
+
+from tests.strategies import (
+    DETERMINISM_SETTINGS,
+    STANDARD_SETTINGS,
+    dpf_cases,
+    fast_prf_names,
+)
+
+_U64 = (1 << 64) - 1
+
+
+@given(case=dpf_cases())
+@STANDARD_SETTINGS
+def test_reconstruction_is_scaled_one_hot(case):
+    (k0, k1), prf = case.keys()
+    total = eval_full(k0, prf) + eval_full(k1, prf)
+    expected = np.zeros(case.domain_size, dtype=np.uint64)
+    expected[case.alpha] = case.beta & _U64
+    assert np.array_equal(total, expected)
+
+
+@given(case=dpf_cases(prfs=fast_prf_names), data=st.data())
+@STANDARD_SETTINGS
+def test_eval_points_agrees_with_eval_full(case, data):
+    (k0, k1), prf = case.keys()
+    indices = np.array(
+        data.draw(
+            st.lists(
+                st.integers(0, case.domain_size - 1), min_size=1, max_size=16
+            ),
+            label="indices",
+        ),
+        dtype=np.int64,
+    )
+    for key in (k0, k1):
+        full = eval_full(key, prf)
+        assert np.array_equal(eval_points(key, prf, indices), full[indices])
+
+
+@given(case=dpf_cases(prfs=fast_prf_names))
+@DETERMINISM_SETTINGS
+def test_keygen_is_deterministic_in_rng(case):
+    (a0, a1), _ = case.keys()
+    (b0, b1), _ = case.keys()  # same seed -> identical generator stream
+    assert a0.to_bytes() == b0.to_bytes()
+    assert a1.to_bytes() == b1.to_bytes()
+
+
+@given(case=dpf_cases(prfs=fast_prf_names))
+@DETERMINISM_SETTINGS
+def test_serialization_round_trips(case):
+    (k0, k1), prf = case.keys()
+    for key in (k0, k1):
+        restored = DpfKey.from_bytes(key.to_bytes())
+        assert restored.to_bytes() == key.to_bytes()
+        assert np.array_equal(eval_full(restored, prf), eval_full(key, prf))

@@ -1,0 +1,190 @@
+"""The functional GPU kernels against the reference DPF evaluation.
+
+Three claims, per the paper's Figure 6: every parallelization strategy
+computes *exactly* the same output shares as the reference
+``eval_full``; each strategy's PRF work matches its analytic count; and
+the metered live memory matches the analytic model — in particular the
+O(B L) level-by-level vs O(B K log L) memory-bounded separation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import available_prfs, get_prf
+from repro.crypto.prf import CountingPrf
+from repro.dpf import eval_full, gen
+from repro.gpu import MemoryMeter, available_strategies, get_strategy
+from repro.gpu.strategies import NODE_BYTES
+
+from tests.strategies import STANDARD_SETTINGS, batch_sizes, dpf_cases, fast_prf_names
+
+PRF = get_prf("chacha20")
+
+ALL_STRATEGIES = available_strategies()
+
+# Constructor variants that exercise non-default tree splits.
+VARIANTS = [
+    ("branch_parallel", {}),
+    ("level_by_level", {}),
+    ("memory_bounded", {}),
+    ("memory_bounded", {"log_subtrees": 0}),
+    ("memory_bounded", {"log_subtrees": 3}),
+    ("cooperative_groups", {}),
+    ("cooperative_groups", {"log_tile": 0}),
+    ("cooperative_groups", {"log_tile": 4}),
+]
+
+
+def _keys(domain, alpha=None, prf=PRF, seed=0, beta=1):
+    rng = np.random.default_rng(seed)
+    return gen(alpha if alpha is not None else domain // 2, domain, prf, rng, beta=beta)
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    @pytest.mark.parametrize("domain", [1, 2, 3, 13, 64, 100, 257, 1000])
+    def test_matches_eval_full(self, name, domain):
+        k0, k1 = _keys(domain)
+        strategy = get_strategy(name)
+        for key in (k0, k1):
+            assert np.array_equal(strategy.eval_full(key, PRF), eval_full(key, PRF))
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    @pytest.mark.parametrize("prf_name", available_prfs())
+    def test_matches_eval_full_all_prfs(self, name, prf_name):
+        prf = get_prf(prf_name)
+        k0, k1 = _keys(37, prf=prf)  # non-power-of-two on purpose
+        strategy = get_strategy(name)
+        for key in (k0, k1):
+            assert np.array_equal(strategy.eval_full(key, prf), eval_full(key, prf))
+
+    @pytest.mark.parametrize("name,params", VARIANTS)
+    def test_split_parameters_do_not_change_output(self, name, params):
+        k0, _ = _keys(441, seed=3)
+        strategy = get_strategy(name, **params)
+        assert np.array_equal(strategy.eval_full(k0, PRF), eval_full(k0, PRF))
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_batch_matches_per_key_loop(self, name):
+        keys = []
+        for seed in range(3):
+            k0, k1 = _keys(100, alpha=17 * seed % 100, seed=seed, beta=seed + 5)
+            keys.extend([k0, k1])
+        strategy = get_strategy(name)
+        batch = strategy.eval_batch(keys, PRF)
+        assert batch.shape == (len(keys), 100)
+        for row, key in zip(batch, keys):
+            assert np.array_equal(row, eval_full(key, PRF))
+
+    @given(case=dpf_cases(prfs=fast_prf_names), name=st.sampled_from(ALL_STRATEGIES))
+    @STANDARD_SETTINGS
+    def test_property_matches_eval_full(self, case, name):
+        (k0, k1), prf = case.keys()
+        strategy = get_strategy(name)
+        for key in (k0, k1):
+            assert np.array_equal(strategy.eval_full(key, prf), eval_full(key, prf))
+
+    def test_batch_rejects_mixed_domains(self):
+        k0, _ = _keys(64)
+        j0, _ = _keys(128)
+        with pytest.raises(ValueError, match="same domain"):
+            get_strategy("level_by_level").eval_batch([k0, j0], PRF)
+
+    def test_rejects_wrong_prf(self):
+        k0, _ = _keys(64)
+        with pytest.raises(ValueError, match="reconstruct"):
+            get_strategy("branch_parallel").eval_full(k0, get_prf("siphash"))
+
+
+class TestAnalyticCosts:
+    @pytest.mark.parametrize("name,params", VARIANTS)
+    @pytest.mark.parametrize("domain", [1, 13, 257, 1000])
+    def test_prf_blocks_and_peak_memory_are_exact(self, name, params, domain):
+        batch = 3
+        keys = []
+        for seed in range(batch):
+            k0, k1 = _keys(domain, alpha=seed % domain, seed=seed)
+            keys.append(k0 if seed % 2 else k1)
+        strategy = get_strategy(name, **params)
+        counting = CountingPrf(PRF)
+        meter = MemoryMeter()
+        strategy.eval_batch(keys, counting, meter)
+        cost = strategy.cost(batch, domain)
+        assert counting.blocks == cost.prf_blocks
+        assert meter.peak == cost.peak_mem_bytes
+        assert meter.current == 0  # every device buffer released
+
+    def test_figure6_memory_separation(self):
+        """O(B L) level-by-level vs O(B K log L) memory-bounded."""
+        batch, domain = 4, 1024
+        log_subtrees = 4
+        keys = [_keys(domain, seed=s)[s % 2] for s in range(batch)]
+
+        lbl_meter, mbt_meter = MemoryMeter(), MemoryMeter()
+        get_strategy("level_by_level").eval_batch(keys, PRF, lbl_meter)
+        mbt = get_strategy("memory_bounded", log_subtrees=log_subtrees)
+        mbt.eval_batch(keys, PRF, mbt_meter)
+
+        # Level-by-level is Omega(B * L): the full leaf frontier lives at once.
+        assert lbl_meter.peak >= 16 * batch * domain
+        # Memory-bounded stays within the O(B * K * log L) analytic bound.
+        subtrees = 2**log_subtrees
+        depth = 10  # log2(1024)
+        assert mbt_meter.peak <= 3 * NODE_BYTES * batch * subtrees * depth
+        # And the separation is material, not a constant-factor accident.
+        assert mbt_meter.peak * 4 < lbl_meter.peak
+
+    def test_memory_bound_tightens_with_fewer_subtrees(self):
+        batch, domain = 2, 4096
+        peaks = []
+        for log_subtrees in (6, 4, 2):
+            meter = MemoryMeter()
+            keys = [_keys(domain, seed=9)[0]] * batch
+            get_strategy("memory_bounded", log_subtrees=log_subtrees).eval_batch(
+                keys, PRF, meter
+            )
+            peaks.append(meter.peak)
+        assert peaks[0] > peaks[1] > peaks[2]
+
+    @given(batch=batch_sizes)
+    @STANDARD_SETTINGS
+    def test_peak_memory_scales_linearly_in_batch(self, batch):
+        domain = 256
+        for name in ALL_STRATEGIES:
+            cost_1 = get_strategy(name).cost(1, domain)
+            cost_b = get_strategy(name).cost(batch, domain)
+            assert cost_b.peak_mem_bytes == batch * cost_1.peak_mem_bytes
+            assert cost_b.prf_blocks == batch * cost_1.prf_blocks
+
+
+class TestKernelPlans:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_plan_describes_the_workload(self, name):
+        batch, table = 16, 4096
+        plan = get_strategy(name).plan(batch, table, entry_bytes=8, prf_name="sha256")
+        assert plan.strategy == name
+        assert plan.batch_size == batch and plan.table_entries == table
+        assert plan.prf_name == "sha256"
+        assert plan.prf_cost == get_prf("sha256").gpu_cost
+        assert plan.total_prf_blocks > 0
+        assert plan.host_bytes_in > 0 and plan.host_bytes_out == batch * 8
+        assert all(p.parallel_width >= 1 for p in plan.phases)
+
+    def test_fused_strategies_avoid_materializing_shares(self):
+        batch, table = 8, 1 << 16
+        lbl = get_strategy("level_by_level").plan(batch, table)
+        assert not lbl.fused
+        assert lbl.peak_mem_bytes >= 16 * batch * table  # frontier in global mem
+        for name in ("branch_parallel", "memory_bounded", "cooperative_groups"):
+            plan = get_strategy(name).plan(batch, table)
+            assert plan.fused
+            assert plan.peak_mem_bytes < lbl.peak_mem_bytes
+
+    def test_branch_parallel_trades_compute_for_memory(self):
+        batch, table = 4, 1 << 14
+        bp = get_strategy("branch_parallel").plan(batch, table)
+        mbt = get_strategy("memory_bounded").plan(batch, table)
+        assert bp.total_prf_blocks > mbt.total_prf_blocks  # O(L log L) vs O(L)
+        assert bp.peak_mem_bytes < mbt.peak_mem_bytes

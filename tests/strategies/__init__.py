@@ -1,0 +1,33 @@
+"""Hypothesis strategies for property-based tests.
+
+Re-exports commonly used strategies for convenience::
+
+    from tests.strategies import dpf_cases, domain_sizes, STANDARD_SETTINGS
+"""
+
+from tests.strategies.dpf import (
+    DpfCase,
+    alphas_for_domain,
+    batch_sizes,
+    betas,
+    domain_sizes,
+    dpf_cases,
+    fast_prf_names,
+    prf_names,
+    rng_seeds,
+)
+from tests.strategies.settings import DETERMINISM_SETTINGS, STANDARD_SETTINGS
+
+__all__ = [
+    "DETERMINISM_SETTINGS",
+    "STANDARD_SETTINGS",
+    "DpfCase",
+    "alphas_for_domain",
+    "batch_sizes",
+    "betas",
+    "domain_sizes",
+    "dpf_cases",
+    "fast_prf_names",
+    "prf_names",
+    "rng_seeds",
+]

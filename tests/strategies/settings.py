@@ -1,0 +1,30 @@
+"""Shared Hypothesis settings profiles.
+
+Two profiles cover the suite's needs:
+
+* ``STANDARD_SETTINGS`` — the default for property tests.  ``deadline``
+  is disabled because the pure-numpy PRFs have high per-example
+  variance (a sha256 example is ~10x a siphash one), which would make
+  deadline failures pure noise.
+* ``DETERMINISM_SETTINGS`` — for tests asserting reproducibility
+  (seeded key generation, serialization round-trips).  Derandomized so
+  the examples themselves are stable across runs and machines, and
+  detached from the example database so CI never replays a stale
+  shrunk case against a determinism assertion.
+"""
+
+from hypothesis import HealthCheck, settings
+
+STANDARD_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+DETERMINISM_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    database=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

@@ -1,0 +1,27 @@
+"""Package-surface smoke test.
+
+Regression test for the bug this layer originally shipped with: the
+``repro.gpu`` docstring advertised modules that did not exist, so
+``import repro.gpu`` raised ``ModuleNotFoundError``.  Every public name
+each package exports must import and resolve.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = ["repro", "repro.crypto", "repro.dpf", "repro.gpu"]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_imports(package):
+    importlib.import_module(package)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_exported_name_resolves(package):
+    module = importlib.import_module(package)
+    assert module.__all__, f"{package} exports nothing"
+    assert len(set(module.__all__)) == len(module.__all__)
+    for name in module.__all__:
+        assert getattr(module, name) is not None
