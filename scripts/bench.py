@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Benchmark the DPF hot path and emit BENCH_dpf.json.
+
+Usage:
+    PYTHONPATH=src python scripts/bench.py                # full grid
+    PYTHONPATH=src python scripts/bench.py --smoke        # CI smoke grid
+    PYTHONPATH=src python scripts/bench.py --prfs aes128 --log-domains 16
+
+The emitted JSON (schema in ``repro.bench.harness``) is the perf
+trajectory every future optimisation PR is compared against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import (  # noqa: E402  (path bootstrap above)
+    default_grid,
+    run_grid,
+    smoke_grid,
+    write_results,
+)
+from repro.bench.harness import REFERENCE  # noqa: E402
+from repro.crypto import available_prfs  # noqa: E402
+from repro.gpu import available_strategies  # noqa: E402
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="seconds-long CI grid")
+    parser.add_argument("--out", default="BENCH_dpf.json", help="output JSON path")
+    parser.add_argument(
+        "--prfs", nargs="+", choices=available_prfs(), help="restrict the PRF axis"
+    )
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=[REFERENCE, *available_strategies()],
+        help="restrict the strategy axis",
+    )
+    parser.add_argument("--batches", nargs="+", type=int, help="batch sizes")
+    parser.add_argument(
+        "--log-domains", nargs="+", type=int, help="table size exponents"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timed reps per case")
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identity check against the reference evaluator",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no per-case progress")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.smoke:
+        cases = smoke_grid()
+    else:
+        kwargs = {}
+        if args.prfs:
+            kwargs["prfs"] = args.prfs
+        if args.strategies:
+            kwargs["strategies"] = args.strategies
+        if args.batches:
+            kwargs["batches"] = args.batches
+        if args.log_domains:
+            kwargs["log_domains"] = args.log_domains
+        cases = default_grid(repeats=args.repeats, **kwargs)
+
+    progress = None if args.quiet else lambda line: print(f"  {line}", flush=True)
+    print(f"running {len(cases)} benchmark cases -> {args.out}")
+    results = run_grid(cases, verify=not args.no_verify, progress=progress)
+    write_results(results, args.out)
+
+    print(f"\n{'prf':12s} {'strategy':18s} {'B':>3s} {'L':>8s} "
+          f"{'ms':>9s} {'QPS':>10s} {'ns/blk':>8s} {'peak MiB':>9s}")
+    for r in results:
+        print(
+            f"{r.prf:12s} {r.strategy:18s} {r.batch:>3d} {r.domain_size:>8d} "
+            f"{r.seconds * 1e3:>9.2f} {r.qps:>10.1f} {r.ns_per_prf_block:>8.1f} "
+            f"{r.peak_mem_bytes / 2**20:>9.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

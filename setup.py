@@ -9,5 +9,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
-    extras_require={"test": ["pytest>=7", "hypothesis>=6"]},
+    extras_require={
+        "test": ["pytest>=7", "hypothesis>=6"],
+        # The bench harness (repro.bench + scripts/bench.py) needs only
+        # numpy; the extra exists so deployments can declare the intent
+        # explicitly and future bench-only deps have a home.
+        "bench": [],
+    },
 )

@@ -10,13 +10,16 @@ Layers, bottom to top:
 * :mod:`repro.gpu` — the paper's acceleration story: parallelization
   strategies, a calibrated V100 performance model, batch/table-aware
   strategy scheduling, and multi-GPU sharding.
+* :mod:`repro.bench` — the wall-clock benchmark harness behind
+  ``BENCH_dpf.json`` (QPS, ns per PRF block, peak metered bytes).
 """
 
-from repro import crypto, dpf, gpu
+from repro import bench, crypto, dpf, gpu
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "bench",
     "crypto",
     "dpf",
     "gpu",

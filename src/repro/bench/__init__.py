@@ -1,0 +1,33 @@
+"""Benchmark harness for the DPF hot path.
+
+Every perf-oriented PR is judged against the numbers this package
+produces: wall-clock timing of ``eval_full`` / ``eval_batch`` across a
+PRF x strategy x batch x log-domain grid, reported as queries per
+second, nanoseconds per PRF block, and peak metered bytes, and emitted
+as ``BENCH_dpf.json`` so the trajectory is diffable across commits.
+
+``scripts/bench.py`` is the CLI front end; ``--smoke`` runs the small
+CI grid.
+"""
+
+from repro.bench.harness import (
+    BenchCase,
+    BenchResult,
+    default_grid,
+    run_case,
+    run_grid,
+    smoke_grid,
+    results_payload,
+    write_results,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchResult",
+    "default_grid",
+    "smoke_grid",
+    "run_case",
+    "run_grid",
+    "results_payload",
+    "write_results",
+]

@@ -1,0 +1,255 @@
+"""Timing harness for full-domain DPF evaluation.
+
+Methodology (see ``docs/performance.md``):
+
+* Keys are generated once per case from a fixed RNG seed, so repeated
+  runs measure the same work.
+* Each case runs ``warmup`` untimed iterations (populating cipher
+  scratch buffers and caches), then ``repeats`` timed iterations; the
+  *minimum* wall time is reported, which is the standard way to reject
+  scheduler noise on a shared machine.
+* ``prf_blocks`` is the analytic count from the strategy cost model
+  (for strategies) or the reference ``2 * (2**n - 1)`` per query (for
+  the reference evaluator), so ``ns_per_prf_block`` is comparable
+  across strategies that do different amounts of recomputation.
+* ``peak_mem_bytes`` comes from one extra metered run through
+  :class:`~repro.gpu.memory.MemoryMeter` (the Figure 6 working set);
+  the timed runs are unmetered.
+* Unless disabled, every case's output is verified bit-identical to
+  ``repro.dpf.dpf.eval_full`` before timing — a benchmark of a wrong
+  kernel is worse than no benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.crypto import available_prfs, get_prf
+from repro.dpf import eval_full, gen
+from repro.gpu import MemoryMeter, available_strategies, get_strategy
+
+REFERENCE = "reference"
+"""Pseudo-strategy name for the reference ``dpf.eval_full`` walk."""
+
+SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One grid point: what to run and how often.
+
+    Attributes:
+        prf: PRF registry name.
+        strategy: Strategy registry name, or :data:`REFERENCE` for the
+            reference evaluator.
+        batch: Queries per invocation (the reference path loops).
+        log_domain: Table size exponent; L = 2**log_domain.
+        repeats: Timed iterations (min is reported).
+        warmup: Untimed warm-up iterations.
+    """
+
+    prf: str
+    strategy: str
+    batch: int
+    log_domain: int
+    repeats: int = 3
+    warmup: int = 1
+
+    @property
+    def domain_size(self) -> int:
+        return 1 << self.log_domain
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Measured numbers for one :class:`BenchCase`."""
+
+    prf: str
+    strategy: str
+    batch: int
+    log_domain: int
+    domain_size: int
+    seconds: float
+    qps: float
+    prf_blocks: int
+    ns_per_prf_block: float
+    peak_mem_bytes: int
+    verified: bool
+
+
+def _reference_blocks(batch: int, log_domain: int) -> int:
+    """PRF blocks of the reference walk: 2(2^n - 1) per query."""
+    return batch * (2 ** (log_domain + 1) - 2)
+
+
+def _make_keys(case: BenchCase, seed: int = 7) -> list:
+    prf = get_prf(case.prf)
+    rng = np.random.default_rng(seed)
+    keys = []
+    for i in range(case.batch):
+        alpha = int(rng.integers(0, case.domain_size))
+        k0, k1 = gen(alpha, case.domain_size, prf, rng, beta=i + 1)
+        keys.append(k0 if i % 2 else k1)
+    return keys
+
+
+def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
+    """Execute one grid point and return its measurements.
+
+    Args:
+        case: The grid point.
+        verify: Assert the evaluated shares are bit-identical to the
+            reference evaluator before timing (skipped for the
+            reference itself).
+
+    Raises:
+        ValueError: If verification fails — the numbers would be
+            meaningless.
+    """
+    prf = get_prf(case.prf)
+    keys = _make_keys(case)
+
+    if case.strategy == REFERENCE:
+        def work() -> np.ndarray:
+            return np.stack([eval_full(key, prf) for key in keys])
+
+        prf_blocks = _reference_blocks(case.batch, case.log_domain)
+        peak_mem = 0
+        verified = False
+    else:
+        strategy = get_strategy(case.strategy)
+
+        def work() -> np.ndarray:
+            return strategy.eval_batch(keys, prf)
+
+        prf_blocks = strategy.cost(case.batch, case.domain_size).prf_blocks
+        meter = MemoryMeter()
+        got = strategy.eval_batch(keys, prf, meter)
+        peak_mem = meter.peak
+        verified = False
+        if verify:
+            want = np.stack([eval_full(key, prf) for key in keys])
+            if not np.array_equal(got, want):
+                raise ValueError(
+                    f"{case.strategy} output diverged from the reference for {case}"
+                )
+            verified = True
+
+    for _ in range(case.warmup):
+        work()
+    best = float("inf")
+    for _ in range(case.repeats):
+        start = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - start)
+
+    return BenchResult(
+        prf=case.prf,
+        strategy=case.strategy,
+        batch=case.batch,
+        log_domain=case.log_domain,
+        domain_size=case.domain_size,
+        seconds=best,
+        qps=case.batch / best,
+        prf_blocks=prf_blocks,
+        ns_per_prf_block=best * 1e9 / prf_blocks,
+        peak_mem_bytes=peak_mem,
+        verified=verified,
+    )
+
+
+def run_grid(
+    cases: Iterable[BenchCase],
+    verify: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run every case, reporting progress through ``progress``."""
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(
+                f"{case.prf:12s} {case.strategy:18s} B={case.batch:<3d} "
+                f"L=2^{case.log_domain}"
+            )
+        results.append(run_case(case, verify=verify))
+    return results
+
+
+def default_grid(
+    prfs: Sequence[str] | None = None,
+    strategies: Sequence[str] | None = None,
+    batches: Sequence[int] = (1, 4),
+    log_domains: Sequence[int] = (10, 14),
+    repeats: int = 3,
+) -> list[BenchCase]:
+    """The checked-in ``BENCH_dpf.json`` grid.
+
+    Covers every PRF and every strategy (plus the reference walk) at
+    small and medium domains, and adds the headline cases — ``aes128``
+    at L = 2^16, the paper's baseline PRF at a realistic table size.
+    Branch-parallel is pruned above 2^12: its O(L log L) recomputation
+    makes larger functional runs take minutes without adding signal.
+    """
+    prfs = list(prfs) if prfs is not None else available_prfs()
+    strategies = (
+        list(strategies)
+        if strategies is not None
+        else [REFERENCE, *available_strategies()]
+    )
+    cases = []
+    for prf in prfs:
+        for strategy in strategies:
+            for batch in batches:
+                for log_domain in log_domains:
+                    if strategy == "branch_parallel" and log_domain > 12:
+                        continue
+                    cases.append(
+                        BenchCase(prf, strategy, batch, log_domain, repeats=repeats)
+                    )
+    for strategy in (REFERENCE, "memory_bounded", "level_by_level"):
+        if strategy in strategies:
+            for prf in ("aes128", "chacha20"):
+                if prf in prfs:
+                    headline = BenchCase(prf, strategy, 1, 16, repeats=repeats)
+                    if headline not in cases:
+                        cases.append(headline)
+    return cases
+
+
+def smoke_grid() -> list[BenchCase]:
+    """A seconds-long grid for CI: every strategy once, two PRFs."""
+    cases = [
+        BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
+        BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
+    ]
+    for strategy in available_strategies():
+        cases.append(BenchCase("siphash", strategy, 1, 8, repeats=1, warmup=0))
+    return cases
+
+
+def results_payload(results: Sequence[BenchResult]) -> dict:
+    """The JSON document structure for a set of results."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": [asdict(r) for r in results],
+    }
+
+
+def write_results(results: Sequence[BenchResult], path: str) -> None:
+    """Serialize results to ``path`` as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(results_payload(results), fh, indent=1, sort_keys=True)
+        fh.write("\n")

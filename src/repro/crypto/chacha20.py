@@ -38,6 +38,25 @@ def quarter_round(state: np.ndarray, a: int, b: int, c: int, d: int) -> None:
     state[:, b] = _rotl32(state[:, b] ^ state[:, c], 7)
 
 
+def _chacha20_core(state: np.ndarray) -> np.ndarray:
+    """Run the 20 ChaCha rounds plus feed-forward on assembled states.
+
+    Args:
+        state: ``(N, 16)`` uint32 initial states (not mutated).
+
+    Returns:
+        ``(N, 16)`` uint32 keystream words.
+    """
+    working = state.copy()
+    for _ in range(10):
+        for idx in _COLUMN_ROUNDS:
+            quarter_round(working, *idx)
+        for idx in _DIAGONAL_ROUNDS:
+            quarter_round(working, *idx)
+    working += state
+    return working
+
+
 def chacha20_block(key: np.ndarray, counter: np.ndarray, nonce: np.ndarray) -> np.ndarray:
     """The ChaCha20 block function, vectorized.
 
@@ -55,13 +74,7 @@ def chacha20_block(key: np.ndarray, counter: np.ndarray, nonce: np.ndarray) -> n
     state[:, 4:12] = key
     state[:, 12] = counter
     state[:, 13:16] = nonce
-    working = state.copy()
-    for _ in range(10):
-        for idx in _COLUMN_ROUNDS:
-            quarter_round(working, *idx)
-        for idx in _DIAGONAL_ROUNDS:
-            quarter_round(working, *idx)
-    return working + state
+    return _chacha20_core(state)
 
 
 def chacha20_keystream(key: bytes, counter: int, nonce: bytes, length: int) -> bytes:
@@ -99,17 +112,41 @@ class ChaCha20Prf(prf_mod.Prf):
 
     _KEY_SUFFIX = np.frombuffer(b"repro-gpu-dpf-k!", dtype="<u4").astype(np.uint32)
 
+    # One broadcastable row holding every seed-independent state word
+    # (constants, key suffix, zero counter/nonce), so state assembly is
+    # a single vectorized fill instead of per-call re-broadcasts.
+    _TEMPLATE = np.zeros(16, dtype=np.uint32)
+    _TEMPLATE[0:4] = _CONSTANTS
+    _TEMPLATE[8:12] = _KEY_SUFFIX
+
+    @classmethod
+    def _fill_states(cls, state: np.ndarray, seeds: np.ndarray, tweak: int) -> None:
+        """Assemble initial states in place for one tweak."""
+        state[:] = cls._TEMPLATE
+        state[:, 4:8] = np.ascontiguousarray(seeds).view("<u4")
+        state[:, 13] = np.uint32(tweak)
+
+    @staticmethod
+    def _truncate(block: np.ndarray) -> np.ndarray:
+        """First 16 keystream bytes of each ``(N, 16)`` uint32 block."""
+        n = block.shape[0]
+        words = np.ascontiguousarray(block[:, 0:4])
+        return words.astype("<u4", copy=False).view(np.uint8).reshape(n, 16)
+
     def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
         if seeds.ndim != 2 or seeds.shape[1] != 16:
             raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
         n = seeds.shape[0]
-        key = np.empty((n, 8), dtype=np.uint32)
-        key[:, 0:4] = np.ascontiguousarray(seeds).view("<u4")
-        key[:, 4:8] = self._KEY_SUFFIX
-        counter = np.zeros(n, dtype=np.uint32)
-        nonce = np.empty((n, 3), dtype=np.uint32)
-        nonce[:, 0] = np.uint32(tweak)
-        nonce[:, 1] = 0
-        nonce[:, 2] = 0
-        block = chacha20_block(key, counter, nonce)
-        return np.ascontiguousarray(block[:, 0:4]).view(np.uint8).reshape(n, 16)
+        state = np.empty((n, 16), dtype=np.uint32)
+        self._fill_states(state, seeds, tweak)
+        return self._truncate(_chacha20_core(state))
+
+    def expand_pair_stacked(self, seeds: np.ndarray) -> np.ndarray:
+        """Fused PRG: both tweaks stacked through one block-function pass."""
+        if seeds.ndim != 2 or seeds.shape[1] != 16:
+            raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
+        n = seeds.shape[0]
+        state = np.empty((2 * n, 16), dtype=np.uint32)
+        self._fill_states(state[:n], seeds, 0)
+        self._fill_states(state[n:], seeds, 1)
+        return self._truncate(_chacha20_core(state))

@@ -65,20 +65,40 @@ class HighwayHashPrf(prf_mod.Prf):
 
     _ROUNDS = 4
 
+    @classmethod
+    def _mix_lanes(cls, m0: np.ndarray, m1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Run the round function over already-tweaked message lanes."""
+        n = m0.shape[0]
+        lanes = [np.full(n, init, dtype=np.uint64) for init in _INIT]
+        for rnd in range(cls._ROUNDS):
+            lanes = _mix(lanes, m0 ^ np.uint64(rnd), m1)
+        return lanes[0] + lanes[2], lanes[1] + lanes[3]
+
     def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
         if seeds.ndim != 2 or seeds.shape[1] != 16:
             raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
-        n = seeds.shape[0]
         words = prf_mod.seeds_to_u64(seeds)
-        m0 = words[:, 0].copy()
-        m1 = words[:, 1] ^ np.uint64(tweak)
-        lanes = [np.full(n, init, dtype=np.uint64) for init in _INIT]
-        for rnd in range(self._ROUNDS):
-            lanes = _mix(lanes, m0 ^ np.uint64(rnd), m1)
-        lo = lanes[0] + lanes[2]
-        hi = lanes[1] + lanes[3]
+        lo, hi = self._mix_lanes(words[:, 0], words[:, 1] ^ np.uint64(tweak))
         # Feed-forward with the seed so the map is not invertible from
         # the output alone (Matyas--Meyer--Oseas shape, as for AES).
         lo ^= words[:, 0]
         hi ^= words[:, 1]
+        return prf_mod.u64_to_seeds(np.stack((lo, hi), axis=1))
+
+    def expand_pair_stacked(self, seeds: np.ndarray) -> np.ndarray:
+        """Fused PRG: both tweaks stacked through one mixing pass."""
+        if seeds.ndim != 2 or seeds.shape[1] != 16:
+            raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
+        n = seeds.shape[0]
+        words = prf_mod.seeds_to_u64(seeds)
+        w0, w1 = words[:, 0], words[:, 1]
+        m0 = np.tile(w0, 2)
+        m1 = np.empty(2 * n, dtype=np.uint64)
+        m1[:n] = w1  # tweak 0
+        m1[n:] = w1 ^ np.uint64(1)  # tweak 1
+        lo, hi = self._mix_lanes(m0, m1)
+        lo[:n] ^= w0
+        lo[n:] ^= w0
+        hi[:n] ^= w1
+        hi[n:] ^= w1
         return prf_mod.u64_to_seeds(np.stack((lo, hi), axis=1))

@@ -68,8 +68,33 @@ class Prf(abc.ABC):
         """
 
     def expand_pair(self, seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Length-doubling PRG: return the (left, right) child blocks."""
-        return self.expand(seeds, 0), self.expand(seeds, 1)
+        """Length-doubling PRG: return the (left, right) child blocks.
+
+        This is the DPF hot path: every GGM tree level calls it once on
+        the whole frontier.  The halves are adjacent views of one
+        :meth:`expand_pair_stacked` buffer — freshly allocated per call,
+        so callers may mutate them in place — and are bit-identical to
+        ``(expand(seeds, 0), expand(seeds, 1))``.
+        """
+        stacked = self.expand_pair_stacked(seeds)
+        n = seeds.shape[0]
+        return stacked[:n], stacked[n:]
+
+    def expand_pair_stacked(self, seeds: np.ndarray) -> np.ndarray:
+        """Both children as one ``(2N, 16)`` array: left block then right.
+
+        This is the single override point for the fused PRG fast path:
+        concrete PRFs stack the ``2N`` tweaked blocks and run *one*
+        vectorized cipher pass per tree level, returning the cipher's
+        own output buffer (zero copy — the concat-layout ``eval_full``
+        consumes it directly every level).  The base implementation
+        falls back to two unfused :meth:`expand` calls.
+        """
+        n = seeds.shape[0]
+        out = np.empty((2 * n, 16), dtype=np.uint8)
+        out[:n] = self.expand(seeds, 0)
+        out[n:] = self.expand(seeds, 1)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -98,6 +123,15 @@ class CountingPrf(Prf):
         self.calls += 1
         self.blocks += int(seeds.shape[0])
         return self.inner.expand(seeds, tweak)
+
+    def expand_pair_stacked(self, seeds: np.ndarray) -> np.ndarray:
+        # One fused cipher invocation producing both children: 2N PRF
+        # *blocks* but a single *call*.  Figure-6 tests assert block
+        # counts, which the fused path must not change.  expand_pair is
+        # inherited from Prf and splits this buffer, so it counts once.
+        self.calls += 1
+        self.blocks += 2 * int(seeds.shape[0])
+        return self.inner.expand_pair_stacked(seeds)
 
     def reset(self) -> None:
         """Zero the call counters."""

@@ -123,33 +123,42 @@ class Sha256Prf(prf_mod.Prf):
     security_bits = 128
     standardized = True
 
+    @staticmethod
+    def _fill_blocks(blocks: np.ndarray, seeds: np.ndarray, tweak: int) -> None:
+        """Assemble padded one-block messages in place for one tweak.
+
+        Message layout (big-endian words): seed (4 words) | tweak |
+        0x80 padding word | zeros | bit length (20 bytes = 160 bits).
+        """
+        blocks[:] = 0
+        # A big-endian uint32 view *is* the s0<<24|s1<<16|s2<<8|s3 packing.
+        blocks[:, 0:4] = np.ascontiguousarray(seeds).view(">u4").astype(np.uint32)
+        blocks[:, 4] = np.uint32(tweak)
+        blocks[:, 5] = np.uint32(0x80000000)
+        blocks[:, 15] = np.uint32(160)
+
+    @staticmethod
+    def _truncate(state: np.ndarray) -> np.ndarray:
+        """First 128 bits of each digest, in big-endian byte order."""
+        n = state.shape[0]
+        return np.ascontiguousarray(state[:, 0:4]).astype(">u4").view(np.uint8).reshape(n, 16)
+
     def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
         if seeds.ndim != 2 or seeds.shape[1] != 16:
             raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
         n = seeds.shape[0]
-        # Message layout (big-endian words): seed (4 words) | tweak |
-        # 0x80 padding word | zeros | bit length (20 bytes = 160 bits).
-        blocks = np.zeros((n, 16), dtype=np.uint32)
-        seed_words = (
-            seeds.reshape(n, 4, 4).astype(np.uint32)
-        )
-        blocks[:, 0:4] = (
-            (seed_words[:, :, 0] << np.uint32(24))
-            | (seed_words[:, :, 1] << np.uint32(16))
-            | (seed_words[:, :, 2] << np.uint32(8))
-            | seed_words[:, :, 3]
-        )
-        blocks[:, 4] = np.uint32(tweak)
-        blocks[:, 5] = np.uint32(0x80000000)
-        blocks[:, 15] = np.uint32(160)
+        blocks = np.empty((n, 16), dtype=np.uint32)
+        self._fill_blocks(blocks, seeds, tweak)
         state = np.broadcast_to(_H0, (n, 8)).copy()
-        state = _compress_blocks(state, blocks)
-        # Truncate the 256-bit digest to the 128-bit block size.
-        out = np.empty((n, 16), dtype=np.uint8)
-        for word in range(4):
-            val = state[:, word]
-            out[:, 4 * word + 0] = (val >> np.uint32(24)).astype(np.uint8)
-            out[:, 4 * word + 1] = (val >> np.uint32(16)).astype(np.uint8)
-            out[:, 4 * word + 2] = (val >> np.uint32(8)).astype(np.uint8)
-            out[:, 4 * word + 3] = val.astype(np.uint8)
-        return out
+        return self._truncate(_compress_blocks(state, blocks))
+
+    def expand_pair_stacked(self, seeds: np.ndarray) -> np.ndarray:
+        """Fused PRG: both tweaks stacked through one compression pass."""
+        if seeds.ndim != 2 or seeds.shape[1] != 16:
+            raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
+        n = seeds.shape[0]
+        blocks = np.empty((2 * n, 16), dtype=np.uint32)
+        self._fill_blocks(blocks[:n], seeds, 0)
+        self._fill_blocks(blocks[n:], seeds, 1)
+        state = np.broadcast_to(_H0, (2 * n, 8)).copy()
+        return self._truncate(_compress_blocks(state, blocks))

@@ -116,15 +116,36 @@ class SipHashPrf(prf_mod.Prf):
     security_bits = 64
     standardized = False
 
+    @staticmethod
+    def _run_lanes(k0: np.ndarray, k1: np.ndarray, messages: list[int]) -> np.ndarray:
+        """One SipHash pass over ``len(messages)`` stacked lane groups.
+
+        Returns a ``(len(messages), N)`` array whose row ``i`` is the MAC
+        of message word ``messages[i]`` under every key.
+        """
+        n = k0.shape[0]
+        m = len(messages)
+        msg = np.empty(m * n, dtype=np.uint64)
+        for i, word in enumerate(messages):
+            msg[i * n : (i + 1) * n] = np.uint64(word)
+        out = siphash24_batch(np.tile(k0, m), np.tile(k1, m), msg)
+        return out.reshape(m, n)
+
     def expand(self, seeds: np.ndarray, tweak: int) -> np.ndarray:
+        if seeds.ndim != 2 or seeds.shape[1] != 16:
+            raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
+        words = prf_mod.seeds_to_u64(seeds)
+        macs = self._run_lanes(words[:, 0], words[:, 1], [2 * tweak, 2 * tweak + 1])
+        return prf_mod.u64_to_seeds(np.stack((macs[0], macs[1]), axis=1))
+
+    def expand_pair_stacked(self, seeds: np.ndarray) -> np.ndarray:
+        """Fused PRG: all four MAC lanes (both tweaks) in one pass."""
         if seeds.ndim != 2 or seeds.shape[1] != 16:
             raise ValueError(f"seeds must be (N, 16) uint8, got {seeds.shape}")
         n = seeds.shape[0]
         words = prf_mod.seeds_to_u64(seeds)
-        k0 = words[:, 0]
-        k1 = words[:, 1]
-        msg_lo = np.full(n, np.uint64(2 * tweak), dtype=np.uint64)
-        msg_hi = np.full(n, np.uint64(2 * tweak + 1), dtype=np.uint64)
-        lo = siphash24_batch(k0, k1, msg_lo)
-        hi = siphash24_batch(k0, k1, msg_hi)
-        return prf_mod.u64_to_seeds(np.stack((lo, hi), axis=1))
+        macs = self._run_lanes(words[:, 0], words[:, 1], [0, 1, 2, 3])
+        out = np.empty((2 * n, 2), dtype=np.uint64)
+        out[:n, 0], out[:n, 1] = macs[0], macs[1]
+        out[n:, 0], out[n:, 1] = macs[2], macs[3]
+        return prf_mod.u64_to_seeds(out)

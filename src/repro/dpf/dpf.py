@@ -97,8 +97,36 @@ def gen(
     return key_0, key_1
 
 
+_BITREV_CACHE: dict[int, np.ndarray] = {}
+_BITREV_CACHE_MAX_BITS = 20
+"""Depths above this (8 MiB+ of int64 indices each) are rebuilt per call
+rather than retained, so sweeping domain sizes cannot accumulate
+unbounded resident permutations."""
+
+
+def _bitrev_perm(n: int) -> np.ndarray:
+    """The n-bit bit-reversal permutation of ``arange(2**n)``."""
+    perm = _BITREV_CACHE.get(n)
+    if perm is None:
+        idx = np.arange(1 << n, dtype=np.int64)
+        perm = np.zeros_like(idx)
+        for bit in range(n):
+            perm |= ((idx >> bit) & 1) << (n - 1 - bit)
+        if n <= _BITREV_CACHE_MAX_BITS:
+            _BITREV_CACHE[n] = perm
+    return perm
+
+
 def eval_full(key: DpfKey, prf: Prf) -> np.ndarray:
     """Expand a key over the whole domain (reference level-by-level walk).
+
+    The expansion keeps each level's children in ``[left | right]``
+    block order (the layout the fused
+    :meth:`~repro.crypto.prf.Prf.expand_pair` produces) instead of
+    interleaving per parent; per-level corrections and control bits are
+    order-independent, so a single bit-reversal gather at the leaves
+    restores natural index order bit-identically while the per-level
+    work stays two XOR passes plus one fused cipher invocation.
 
     Returns:
         ``(domain_size,)`` uint64 array of output shares; adding both
@@ -106,12 +134,25 @@ def eval_full(key: DpfKey, prf: Prf) -> np.ndarray:
         elsewhere.
     """
     _check_prf(key, prf)
+    n = key.log_domain
     seeds = key.root_seed[np.newaxis, :].copy()
     ts = np.array([key.root_t], dtype=np.uint8)
     for cw in key.correction_words:
-        seeds, ts = ggm.expand_level(prf, seeds, ts, cw.seed, cw.t_left, cw.t_right)
+        width = seeds.shape[0]
+        new_seeds = prf.expand_pair_stacked(seeds)
+        t_left = new_seeds[:width, 0] & 1
+        t_right = new_seeds[width:, 0] & 1
+        corr = ggm.correction_u64(cw.seed, ts)
+        words = new_seeds.view(np.uint64).reshape(2 * width, 2)
+        words[:width] ^= corr
+        words[width:] ^= corr
+        new_ts = np.empty(2 * width, dtype=np.uint8)
+        np.bitwise_xor(t_left, ts & np.uint8(cw.t_left), out=new_ts[:width])
+        np.bitwise_xor(t_right, ts & np.uint8(cw.t_right), out=new_ts[width:])
+        seeds, ts = new_seeds, new_ts
     values = ggm.leaf_values(seeds, ts, key.output_cw, key.party)
-    return values[: key.domain_size]
+    # Undo the [left | right] block layout: leaf i sits at bitrev(i).
+    return values[_bitrev_perm(n)[: key.domain_size]]
 
 
 def eval_points(key: DpfKey, prf: Prf, indices: np.ndarray) -> np.ndarray:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crypto.prf import Prf
+from repro.crypto.prf import Prf, seeds_to_u64
 
 
 def log2_ceil(value: int) -> int:
@@ -72,6 +72,18 @@ def apply_correction(
     return seeds, ts
 
 
+def correction_u64(cw_seed: np.ndarray, parent_ts: np.ndarray) -> np.ndarray:
+    """Per-node seed correction as ``(N, 2)`` uint64 words.
+
+    The 16-byte correction word is XORed into a child seed exactly when
+    the parent control bit is 1; because the mask is 0/1, multiplying
+    the two uint64 halves of the correction word by it is bit-identical
+    to the bytewise ``cw * mask`` and an eighth of the element count.
+    """
+    cw64 = seeds_to_u64(cw_seed.reshape(1, 16))
+    return cw64 * parent_ts.astype(np.uint64)[:, np.newaxis]
+
+
 def expand_level(
     prf: Prf,
     seeds: np.ndarray,
@@ -79,6 +91,7 @@ def expand_level(
     cw_seed: np.ndarray,
     cw_t_left: int,
     cw_t_right: int,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Expand a frontier one level, interleaving children in index order.
 
@@ -86,18 +99,42 @@ def expand_level(
     ``2j + 1`` (right) at the next depth, so the returned arrays hold
     ``2N`` nodes in natural index order.
 
-    Returns:
-        ``(seeds, ts)`` of shape ``(2N, 16)`` / ``(2N,)``.
-    """
-    s_left, t_left, s_right, t_right = prg_expand(prf, seeds, ts)
-    s_left, t_left = apply_correction(s_left, t_left, ts, cw_seed, cw_t_left)
-    s_right, t_right = apply_correction(s_right, t_right, ts, cw_seed, cw_t_right)
+    The PRG runs as a single fused cipher pass
+    (:meth:`~repro.crypto.prf.Prf.expand_pair`), and the seed
+    corrections are applied as uint64-view XORs in place on the cipher
+    output before the interleave.
 
+    Args:
+        out: Optional ``(seeds, ts)`` destination arrays of shape
+            ``(2N, 16)`` / ``(2N,)`` uint8; callers expanding level by
+            level pass ping-pong buffers here to avoid reallocating the
+            frontier on every level.
+
+    Returns:
+        ``(seeds, ts)`` of shape ``(2N, 16)`` / ``(2N,)`` — the ``out``
+        arrays when provided.
+    """
     n = seeds.shape[0]
-    out_seeds = np.empty((2 * n, 16), dtype=np.uint8)
+    s_left, s_right = prf.expand_pair(seeds)
+    # Control bits come from the *uncorrected* child blocks.
+    t_left = s_left[:, 0] & 1
+    t_right = s_right[:, 0] & 1
+    corr = correction_u64(cw_seed, ts)
+    s_left = np.ascontiguousarray(s_left)
+    s_right = np.ascontiguousarray(s_right)
+    s_left.view(np.uint64)[:] ^= corr
+    s_right.view(np.uint64)[:] ^= corr
+    mask = ts.astype(np.uint8)
+    t_left = (t_left ^ (mask & np.uint8(cw_t_left))).astype(np.uint8)
+    t_right = (t_right ^ (mask & np.uint8(cw_t_right))).astype(np.uint8)
+
+    if out is None:
+        out_seeds = np.empty((2 * n, 16), dtype=np.uint8)
+        out_ts = np.empty(2 * n, dtype=np.uint8)
+    else:
+        out_seeds, out_ts = out
     out_seeds[0::2] = s_left
     out_seeds[1::2] = s_right
-    out_ts = np.empty(2 * n, dtype=np.uint8)
     out_ts[0::2] = t_left
     out_ts[1::2] = t_right
     return out_seeds, out_ts

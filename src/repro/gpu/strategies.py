@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.crypto.prf import Prf, get_prf
+from repro.crypto.prf import Prf, get_prf, seeds_to_u64
 from repro.dpf import ggm
 from repro.dpf.keys import DpfKey, key_size_bytes
 from repro.gpu.kernel import KernelPhase, KernelPlan
@@ -110,14 +110,25 @@ def _stack_keys(keys: list[DpfKey], prf: Prf) -> _KeyBatch:
         if (key.domain_size, key.log_domain) != (first.domain_size, first.log_domain):
             raise ValueError("all keys in a batch must share the same domain")
     b, n = len(keys), first.log_domain
-    cw_seeds = np.zeros((b, n, 16), dtype=np.uint8)
-    cw_tl = np.zeros((b, n), dtype=np.uint8)
-    cw_tr = np.zeros((b, n), dtype=np.uint8)
-    for i, key in enumerate(keys):
-        for level, cw in enumerate(key.correction_words):
-            cw_seeds[i, level] = cw.seed
-            cw_tl[i, level] = cw.t_left
-            cw_tr[i, level] = cw.t_right
+    if n:
+        # Single vectorized constructors instead of a B x n Python loop
+        # of element assignments (the packed key arena for a batch).
+        cw_seeds = np.array(
+            [[cw.seed for cw in key.correction_words] for key in keys], dtype=np.uint8
+        ).reshape(b, n, 16)
+        cw_bits = np.array(
+            [
+                [(cw.t_left, cw.t_right) for cw in key.correction_words]
+                for key in keys
+            ],
+            dtype=np.uint8,
+        ).reshape(b, n, 2)
+        cw_tl = np.ascontiguousarray(cw_bits[:, :, 0])
+        cw_tr = np.ascontiguousarray(cw_bits[:, :, 1])
+    else:
+        cw_seeds = np.zeros((b, 0, 16), dtype=np.uint8)
+        cw_tl = np.zeros((b, 0), dtype=np.uint8)
+        cw_tr = np.zeros((b, 0), dtype=np.uint8)
     return _KeyBatch(
         batch=b,
         depth=n,
@@ -139,23 +150,35 @@ def _expand_level_batch(
     cw_seed: np.ndarray,  # (B, 16)
     cw_t_left: np.ndarray,  # (B,)
     cw_t_right: np.ndarray,  # (B,)
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Batched :func:`repro.dpf.ggm.expand_level` with per-key corrections."""
+    """Batched :func:`repro.dpf.ggm.expand_level` with per-key corrections.
+
+    One fused cipher pass per call; seed corrections are uint64-view
+    XORs applied in place on the cipher output.  ``out``, when given,
+    receives the interleaved children (ping-pong buffers from
+    ``_expand_to_level``).
+    """
     b, w, _ = seeds.shape
-    flat = seeds.reshape(b * w, 16)
-    left = prf.expand(flat, 0).reshape(b, w, 16)
-    right = prf.expand(flat, 1).reshape(b, w, 16)
-    t_left = left[:, :, 0] & 1
-    t_right = right[:, :, 0] & 1
-    mask = ts[:, :, np.newaxis]
-    left = left ^ (cw_seed[:, np.newaxis, :] * mask)
-    right = right ^ (cw_seed[:, np.newaxis, :] * mask)
+    flat = np.ascontiguousarray(seeds).reshape(b * w, 16)
+    left, right = prf.expand_pair(flat)
+    # Control bits come from the *uncorrected* child blocks.
+    t_left = (left[:, 0] & 1).reshape(b, w)
+    t_right = (right[:, 0] & 1).reshape(b, w)
+    corr = seeds_to_u64(cw_seed)[:, np.newaxis, :] * ts.astype(np.uint64)[:, :, np.newaxis]
+    left = np.ascontiguousarray(left)
+    right = np.ascontiguousarray(right)
+    left.view(np.uint64).reshape(b, w, 2)[:] ^= corr
+    right.view(np.uint64).reshape(b, w, 2)[:] ^= corr
     t_left = (t_left ^ (ts & cw_t_left[:, np.newaxis])).astype(np.uint8)
     t_right = (t_right ^ (ts & cw_t_right[:, np.newaxis])).astype(np.uint8)
-    out_seeds = np.empty((b, 2 * w, 16), dtype=np.uint8)
-    out_seeds[:, 0::2] = left
-    out_seeds[:, 1::2] = right
-    out_ts = np.empty((b, 2 * w), dtype=np.uint8)
+    if out is None:
+        out_seeds = np.empty((b, 2 * w, 16), dtype=np.uint8)
+        out_ts = np.empty((b, 2 * w), dtype=np.uint8)
+    else:
+        out_seeds, out_ts = out
+    out_seeds[:, 0::2] = left.reshape(b, w, 16)
+    out_seeds[:, 1::2] = right.reshape(b, w, 16)
     out_ts[:, 0::2] = t_left
     out_ts[:, 1::2] = t_right
     return out_seeds, out_ts
@@ -267,16 +290,49 @@ class Strategy(abc.ABC):
         meter: MemoryMeter,
         stop_level: int,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Breadth-first expansion of the batch down to ``stop_level``."""
-        seeds, ts = self._alloc_root(kb, meter)
+        """Breadth-first expansion of the batch down to ``stop_level``.
+
+        The growing frontier ping-pongs between two preallocated buffer
+        pairs (level ``l`` reads one and writes prefix views of the
+        other), replacing the old per-level frontier allocations.  For
+        ``batch > 1`` the prefix view is non-contiguous, so the cipher
+        still stages one contiguous copy of the *parent* frontier per
+        level inside ``_expand_level_batch`` — equivalent to the
+        pre-existing staging cost, not an extra one; a level-major
+        frontier layout that removes it is future work.  The meter
+        records the *live frontier* byte counts — parents plus freshly
+        written children at each level — which is what the Figure 6
+        analytic model describes.
+        """
+        if stop_level == 0:
+            return self._alloc_root(kb, meter)
+        b, cap = kb.batch, 1 << stop_level
+        back_seeds = (
+            np.empty((b, cap, 16), dtype=np.uint8),
+            np.empty((b, cap, 16), dtype=np.uint8),
+        )
+        back_ts = (
+            np.empty((b, cap), dtype=np.uint8),
+            np.empty((b, cap), dtype=np.uint8),
+        )
+        seeds = back_seeds[0][:, :1]
+        ts = back_ts[0][:, :1]
+        seeds[:] = kb.roots[:, np.newaxis, :]
+        ts[:] = kb.root_ts[:, np.newaxis]
+        meter.alloc(seeds.nbytes + ts.nbytes)
         for level in range(stop_level):
-            new_seeds, new_ts = _expand_level_batch(
+            side = (level + 1) % 2
+            width = 2 << level
+            new_seeds = back_seeds[side][:, :width]
+            new_ts = back_ts[side][:, :width]
+            _expand_level_batch(
                 prf,
                 seeds,
                 ts,
                 kb.cw_seeds[:, level],
                 kb.cw_t_left[:, level],
                 kb.cw_t_right[:, level],
+                out=(new_seeds, new_ts),
             )
             meter.alloc_arrays(new_seeds, new_ts)
             meter.free_arrays(seeds, ts)
@@ -356,7 +412,11 @@ class BranchParallel(Strategy):
             meter.alloc(children.nbytes + b * domain)
             child_ts = (children[:, 0] & 1).reshape(b, domain)
             children = children.reshape(b, domain, 16)
-            children ^= kb.cw_seeds[:, level][:, np.newaxis, :] * ts[:, :, np.newaxis]
+            corr = (
+                seeds_to_u64(kb.cw_seeds[:, level])[:, np.newaxis, :]
+                * ts.astype(np.uint64)[:, :, np.newaxis]
+            )
+            children.view(np.uint64).reshape(b, domain, 2)[:] ^= corr
             cw_t = np.where(
                 bits[np.newaxis, :] == 0,
                 kb.cw_t_left[:, level][:, np.newaxis],
@@ -543,7 +603,10 @@ class MemoryBoundedTree(Strategy):
             lane_seeds, lane_ts = seeds, ts
 
         out = np.empty((b, active, 2**d), dtype=np.uint64)
-        cw_seeds_l = [np.repeat(kb.cw_seeds[:, k + j], active, axis=0) for j in range(d)]
+        cw64_l = [
+            seeds_to_u64(np.repeat(kb.cw_seeds[:, k + j], active, axis=0))
+            for j in range(d)
+        ]
         cw_tl_l = [np.repeat(kb.cw_t_left[:, k + j], active) for j in range(d)]
         cw_tr_l = [np.repeat(kb.cw_t_right[:, k + j], active) for j in range(d)]
         next_leaf = [0]
@@ -561,13 +624,14 @@ class MemoryBoundedTree(Strategy):
             if level == d:
                 emit(seeds_f, ts_f)
                 return
-            left = prf.expand(seeds_f, 0)
-            right = prf.expand(seeds_f, 1)
+            left, right = prf.expand_pair(seeds_f)
             t_left = left[:, 0] & 1
             t_right = right[:, 0] & 1
-            mask = ts_f[:, np.newaxis]
-            left ^= cw_seeds_l[level] * mask
-            right ^= cw_seeds_l[level] * mask
+            corr = cw64_l[level] * ts_f.astype(np.uint64)[:, np.newaxis]
+            left = np.ascontiguousarray(left)
+            right = np.ascontiguousarray(right)
+            left.view(np.uint64)[:] ^= corr
+            right.view(np.uint64)[:] ^= corr
             t_left = (t_left ^ (ts_f & cw_tl_l[level])).astype(np.uint8)
             t_right = (t_right ^ (ts_f & cw_tr_l[level])).astype(np.uint8)
             meter.alloc(left.nbytes + t_left.nbytes + right.nbytes + t_right.nbytes)
@@ -685,18 +749,37 @@ class CooperativeGroups(Strategy):
         m, t, active = self._split(domain)
         frontier_seeds, frontier_ts = self._expand_to_level(kb, prf, meter, m)
         out = np.empty((b, active * 2**t), dtype=np.uint64)
+        # Double-buffered tile expansion: the same two buffer pairs are
+        # reused for every tile and every level within a tile.
+        tile_cap = 2**t
+        tile_seeds = (
+            np.empty((b, tile_cap, 16), dtype=np.uint8),
+            np.empty((b, tile_cap, 16), dtype=np.uint8),
+        )
+        tile_ts = (
+            np.empty((b, tile_cap), dtype=np.uint8),
+            np.empty((b, tile_cap), dtype=np.uint8),
+        )
         for tile in range(active):
-            seeds = meter.alloc_array(frontier_seeds[:, tile : tile + 1].copy())
-            ts = meter.alloc_array(frontier_ts[:, tile : tile + 1].copy())
+            seeds = tile_seeds[0][:, :1]
+            ts = tile_ts[0][:, :1]
+            seeds[:] = frontier_seeds[:, tile : tile + 1]
+            ts[:] = frontier_ts[:, tile : tile + 1]
+            meter.alloc(seeds.nbytes + ts.nbytes)
             for j in range(t):
                 level = m + j
-                new_seeds, new_ts = _expand_level_batch(
+                side = (j + 1) % 2
+                width = 2 << j
+                new_seeds = tile_seeds[side][:, :width]
+                new_ts = tile_ts[side][:, :width]
+                _expand_level_batch(
                     prf,
                     seeds,
                     ts,
                     kb.cw_seeds[:, level],
                     kb.cw_t_left[:, level],
                     kb.cw_t_right[:, level],
+                    out=(new_seeds, new_ts),
                 )
                 meter.alloc_arrays(new_seeds, new_ts)
                 meter.free_arrays(seeds, ts)

@@ -1,0 +1,101 @@
+"""The benchmark harness: smoke grid, verification, and JSON schema."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchCase,
+    default_grid,
+    results_payload,
+    run_case,
+    run_grid,
+    smoke_grid,
+    write_results,
+)
+from repro.bench.harness import REFERENCE, SCHEMA_VERSION, _reference_blocks
+from repro.gpu import available_strategies
+
+
+class TestGrids:
+    def test_smoke_grid_covers_every_strategy(self):
+        strategies = {case.strategy for case in smoke_grid()}
+        assert set(available_strategies()) <= strategies
+        assert REFERENCE in strategies
+
+    def test_smoke_grid_is_small(self):
+        for case in smoke_grid():
+            assert case.log_domain <= 8
+            assert case.repeats == 1 and case.warmup == 0
+
+    def test_default_grid_prunes_branch_parallel_blowup(self):
+        for case in default_grid(log_domains=(10, 16)):
+            if case.strategy == "branch_parallel":
+                assert case.log_domain <= 12
+
+    def test_default_grid_includes_headline_case(self):
+        cases = default_grid()
+        assert any(
+            c.prf == "aes128" and c.strategy == REFERENCE and c.log_domain == 16
+            for c in cases
+        )
+
+
+class TestRunCase:
+    def test_strategy_case_measures_and_verifies(self):
+        case = BenchCase("chacha20", "memory_bounded", 2, 6, repeats=1, warmup=0)
+        result = run_case(case)
+        assert result.qps > 0
+        assert result.seconds > 0
+        assert result.verified
+        assert result.peak_mem_bytes > 0
+        assert result.domain_size == 64
+        assert result.prf_blocks > 0
+        assert result.ns_per_prf_block == pytest.approx(
+            result.seconds * 1e9 / result.prf_blocks
+        )
+
+    def test_reference_case(self):
+        case = BenchCase("siphash", REFERENCE, 1, 5, repeats=1, warmup=0)
+        result = run_case(case)
+        assert result.prf_blocks == _reference_blocks(1, 5) == 2 * (2**5 - 1)
+        assert not result.verified  # nothing to verify against itself
+
+    def test_verification_catches_divergence(self, monkeypatch):
+        from repro.gpu.strategies import LevelByLevel
+
+        def broken_eval(self, kb, prf, meter):
+            good = LevelByLevel._eval_orig(self, kb, prf, meter)
+            return good + np.uint64(1)
+
+        monkeypatch.setattr(
+            LevelByLevel, "_eval_orig", LevelByLevel._eval, raising=False
+        )
+        monkeypatch.setattr(LevelByLevel, "_eval", broken_eval)
+        case = BenchCase("siphash", "level_by_level", 1, 4, repeats=1, warmup=0)
+        with pytest.raises(ValueError, match="diverged"):
+            run_case(case)
+
+
+class TestJsonOutput:
+    def test_payload_schema_and_roundtrip(self, tmp_path):
+        results = run_grid(
+            [BenchCase("siphash", "memory_bounded", 1, 4, repeats=1, warmup=0)]
+        )
+        payload = results_payload(results)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["host"]["numpy"]
+        path = tmp_path / "bench.json"
+        write_results(results, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["results"][0]["strategy"] == "memory_bounded"
+        assert loaded["results"][0]["qps"] > 0
+
+    def test_progress_callback_fires(self):
+        lines = []
+        run_grid(
+            [BenchCase("siphash", REFERENCE, 1, 3, repeats=1, warmup=0)],
+            progress=lines.append,
+        )
+        assert len(lines) == 1 and "siphash" in lines[0]

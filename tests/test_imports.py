@@ -10,7 +10,7 @@ import importlib
 
 import pytest
 
-PACKAGES = ["repro", "repro.crypto", "repro.dpf", "repro.gpu"]
+PACKAGES = ["repro", "repro.crypto", "repro.dpf", "repro.gpu", "repro.bench"]
 
 
 @pytest.mark.parametrize("package", PACKAGES)
