@@ -24,7 +24,7 @@ from repro.bench import (  # noqa: E402  (path bootstrap above)
     smoke_grid,
     write_results,
 )
-from repro.bench.harness import REFERENCE  # noqa: E402
+from repro.bench.harness import INGEST, REFERENCE  # noqa: E402
 from repro.crypto import available_prfs  # noqa: E402
 from repro.gpu import available_strategies  # noqa: E402
 
@@ -39,7 +39,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--strategies",
         nargs="+",
-        choices=[REFERENCE, *available_strategies()],
+        choices=[REFERENCE, INGEST, *available_strategies()],
         help="restrict the strategy axis",
     )
     parser.add_argument("--batches", nargs="+", type=int, help="batch sizes")
@@ -77,13 +77,13 @@ def main(argv: list[str] | None = None) -> int:
     results = run_grid(cases, verify=not args.no_verify, progress=progress)
     write_results(results, args.out)
 
-    print(f"\n{'prf':12s} {'strategy':18s} {'B':>3s} {'L':>8s} "
+    print(f"\n{'prf':12s} {'strategy':18s} {'ingest':8s} {'B':>3s} {'L':>8s} "
           f"{'ms':>9s} {'QPS':>10s} {'ns/blk':>8s} {'peak MiB':>9s}")
     for r in results:
         print(
-            f"{r.prf:12s} {r.strategy:18s} {r.batch:>3d} {r.domain_size:>8d} "
-            f"{r.seconds * 1e3:>9.2f} {r.qps:>10.1f} {r.ns_per_prf_block:>8.1f} "
-            f"{r.peak_mem_bytes / 2**20:>9.2f}"
+            f"{r.prf:12s} {r.strategy:18s} {r.ingest:8s} {r.batch:>3d} "
+            f"{r.domain_size:>8d} {r.seconds * 1e3:>9.2f} {r.qps:>10.1f} "
+            f"{r.ns_per_prf_block:>8.1f} {r.peak_mem_bytes / 2**20:>9.2f}"
         )
     return 0
 

@@ -2,15 +2,18 @@
 
 Every perf-oriented PR is judged against the numbers this package
 produces: wall-clock timing of ``eval_full`` / ``eval_batch`` across a
-PRF x strategy x batch x log-domain grid, reported as queries per
-second, nanoseconds per PRF block, and peak metered bytes, and emitted
-as ``BENCH_dpf.json`` so the trajectory is diffable across commits.
+PRF x strategy x batch x log-domain x ingest-mode grid (how the keys
+arrive: per-call object stacking, wire-bytes parsing, or a persistent
+key arena), reported as queries per second, nanoseconds per PRF block,
+and peak metered bytes, and emitted as ``BENCH_dpf.json`` so the
+trajectory is diffable across commits.
 
 ``scripts/bench.py`` is the CLI front end; ``--smoke`` runs the small
 CI grid.
 """
 
 from repro.bench.harness import (
+    INGEST_MODES,
     BenchCase,
     BenchResult,
     default_grid,
@@ -24,6 +27,7 @@ from repro.bench.harness import (
 __all__ = [
     "BenchCase",
     "BenchResult",
+    "INGEST_MODES",
     "default_grid",
     "smoke_grid",
     "run_case",

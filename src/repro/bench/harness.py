@@ -22,6 +22,7 @@ Methodology (see ``docs/performance.md``):
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
@@ -31,13 +32,43 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.crypto import available_prfs, get_prf
-from repro.dpf import eval_full, gen
-from repro.gpu import MemoryMeter, available_strategies, get_strategy
+from repro.dpf import eval_full, gen, pack_keys, unpack_keys
+from repro.gpu import (
+    ExpansionWorkspace,
+    KeyArena,
+    MemoryMeter,
+    available_strategies,
+    get_strategy,
+)
 
 REFERENCE = "reference"
 """Pseudo-strategy name for the reference ``dpf.eval_full`` walk."""
 
-SCHEMA_VERSION = 2
+INGEST = "ingest"
+"""Pseudo-strategy name for the wire->arena ingestion micro-benchmark.
+
+An ``ingest`` case times *key ingestion only* — turning a batch of
+received keys into an evaluable :class:`~repro.gpu.arena.KeyArena` —
+with ``qps`` meaning keys ingested per second.  The ``ingest`` axis
+selects the path: ``"wire"`` is the vectorized
+:meth:`KeyArena.from_wire` parse, ``"objects"`` the per-key
+``DpfKey.from_bytes`` loop plus stacking that a server without the
+arena would run.
+"""
+
+INGEST_MODES = ("objects", "wire", "arena")
+"""How ``eval_batch`` receives its keys at each grid point.
+
+* ``"objects"`` — a list of ``DpfKey`` objects, stacked per call (the
+  pre-arena path, and the default).
+* ``"wire"`` — concatenated wire bytes, parsed into a fresh
+  :class:`KeyArena` inside the timed region (a stateless server).
+* ``"arena"`` — a persistent arena + :class:`ExpansionWorkspace` built
+  once outside the timed region (a resident-keys server); the timed
+  work is evaluation only.
+"""
+
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -46,10 +77,12 @@ class BenchCase:
 
     Attributes:
         prf: PRF registry name.
-        strategy: Strategy registry name, or :data:`REFERENCE` for the
-            reference evaluator.
+        strategy: Strategy registry name, :data:`REFERENCE` for the
+            reference evaluator, or :data:`INGEST` for the ingestion
+            micro-benchmark.
         batch: Queries per invocation (the reference path loops).
         log_domain: Table size exponent; L = 2**log_domain.
+        ingest: Key ingestion mode (see :data:`INGEST_MODES`).
         repeats: Timed iterations (min is reported).
         warmup: Untimed warm-up iterations.
     """
@@ -58,6 +91,7 @@ class BenchCase:
     strategy: str
     batch: int
     log_domain: int
+    ingest: str = "objects"
     repeats: int = 3
     warmup: int = 1
 
@@ -74,6 +108,7 @@ class BenchResult:
     strategy: str
     batch: int
     log_domain: int
+    ingest: str
     domain_size: int
     seconds: float
     qps: float
@@ -99,14 +134,69 @@ def _make_keys(case: BenchCase, seed: int = 7) -> list:
     return keys
 
 
+def _time_work(case: BenchCase, work: Callable[[], object]) -> float:
+    for _ in range(case.warmup):
+        work()
+    best = float("inf")
+    for _ in range(case.repeats):
+        start = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _result(
+    case: BenchCase,
+    seconds: float,
+    prf_blocks: int,
+    peak_mem: int,
+    verified: bool,
+) -> BenchResult:
+    return BenchResult(
+        prf=case.prf,
+        strategy=case.strategy,
+        batch=case.batch,
+        log_domain=case.log_domain,
+        ingest=case.ingest,
+        domain_size=case.domain_size,
+        seconds=seconds,
+        qps=case.batch / seconds,
+        prf_blocks=prf_blocks,
+        ns_per_prf_block=seconds * 1e9 / prf_blocks if prf_blocks else 0.0,
+        peak_mem_bytes=peak_mem,
+        verified=verified,
+    )
+
+
+def _run_ingest_case(case: BenchCase, keys: list, verify: bool) -> BenchResult:
+    """Time wire->arena ingestion only; ``qps`` is keys per second."""
+    wire = pack_keys(keys)
+    if case.ingest == "wire":
+        def work() -> KeyArena:
+            return KeyArena.from_wire(wire)
+    elif case.ingest == "objects":
+        def work() -> KeyArena:
+            return KeyArena.from_keys(unpack_keys(wire))
+    else:
+        raise ValueError(
+            f"ingest cases time 'wire' or 'objects' ingestion, got {case.ingest!r}"
+        )
+    verified = False
+    if verify:
+        if KeyArena.from_wire(wire) != KeyArena.from_keys(keys):
+            raise ValueError(f"from_wire diverged from from_keys for {case}")
+        verified = True
+    return _result(case, _time_work(case, work), 0, 0, verified)
+
+
 def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
     """Execute one grid point and return its measurements.
 
     Args:
         case: The grid point.
         verify: Assert the evaluated shares are bit-identical to the
-            reference evaluator before timing (skipped for the
-            reference itself).
+            reference evaluator (or, for ingest cases, that the two
+            ingestion paths produce identical arenas) before timing.
 
     Raises:
         ValueError: If verification fails — the numbers would be
@@ -115,53 +205,58 @@ def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
     prf = get_prf(case.prf)
     keys = _make_keys(case)
 
+    if case.strategy == INGEST:
+        return _run_ingest_case(case, keys, verify)
+
     if case.strategy == REFERENCE:
+        if case.ingest != "objects":
+            raise ValueError("the reference walk has no arena ingestion path")
+
         def work() -> np.ndarray:
             return np.stack([eval_full(key, prf) for key in keys])
 
-        prf_blocks = _reference_blocks(case.batch, case.log_domain)
-        peak_mem = 0
-        verified = False
+        return _result(
+            case,
+            _time_work(case, work),
+            _reference_blocks(case.batch, case.log_domain),
+            0,
+            False,
+        )
+
+    strategy = get_strategy(case.strategy)
+    if case.ingest == "objects":
+        def work(meter: MemoryMeter | None = None) -> np.ndarray:
+            return strategy.eval_batch(keys, prf, meter)
+    elif case.ingest == "wire":
+        wire = pack_keys(keys)
+
+        def work(meter: MemoryMeter | None = None) -> np.ndarray:
+            return strategy.eval_batch(KeyArena.from_wire(wire), prf, meter)
+    elif case.ingest == "arena":
+        arena = KeyArena.from_keys(keys, prf_name=prf.name)
+        workspace = ExpansionWorkspace()
+
+        def work(meter: MemoryMeter | None = None) -> np.ndarray:
+            return strategy.eval_batch(arena, prf, meter, workspace=workspace)
     else:
-        strategy = get_strategy(case.strategy)
+        raise ValueError(f"unknown ingest mode {case.ingest!r}; use {INGEST_MODES}")
 
-        def work() -> np.ndarray:
-            return strategy.eval_batch(keys, prf)
+    prf_blocks = strategy.cost(case.batch, case.domain_size).prf_blocks
+    # One metered run of the *actual* ingest path supplies both the
+    # peak working set and the output to verify.
+    meter = MemoryMeter()
+    got = work(meter)
+    peak_mem = meter.peak
+    verified = False
+    if verify:
+        want = np.stack([eval_full(key, prf) for key in keys])
+        if not np.array_equal(got, want):
+            raise ValueError(
+                f"{case.strategy} output diverged from the reference for {case}"
+            )
+        verified = True
 
-        prf_blocks = strategy.cost(case.batch, case.domain_size).prf_blocks
-        meter = MemoryMeter()
-        got = strategy.eval_batch(keys, prf, meter)
-        peak_mem = meter.peak
-        verified = False
-        if verify:
-            want = np.stack([eval_full(key, prf) for key in keys])
-            if not np.array_equal(got, want):
-                raise ValueError(
-                    f"{case.strategy} output diverged from the reference for {case}"
-                )
-            verified = True
-
-    for _ in range(case.warmup):
-        work()
-    best = float("inf")
-    for _ in range(case.repeats):
-        start = time.perf_counter()
-        work()
-        best = min(best, time.perf_counter() - start)
-
-    return BenchResult(
-        prf=case.prf,
-        strategy=case.strategy,
-        batch=case.batch,
-        log_domain=case.log_domain,
-        domain_size=case.domain_size,
-        seconds=best,
-        qps=case.batch / best,
-        prf_blocks=prf_blocks,
-        ns_per_prf_block=best * 1e9 / prf_blocks,
-        peak_mem_bytes=peak_mem,
-        verified=verified,
-    )
+    return _result(case, _time_work(case, work), prf_blocks, peak_mem, verified)
 
 
 def run_grid(
@@ -174,8 +269,8 @@ def run_grid(
     for case in cases:
         if progress is not None:
             progress(
-                f"{case.prf:12s} {case.strategy:18s} B={case.batch:<3d} "
-                f"L=2^{case.log_domain}"
+                f"{case.prf:12s} {case.strategy:18s} {case.ingest:8s} "
+                f"B={case.batch:<3d} L=2^{case.log_domain}"
             )
         results.append(run_case(case, verify=verify))
     return results
@@ -195,13 +290,32 @@ def default_grid(
     at L = 2^16, the paper's baseline PRF at a realistic table size.
     Branch-parallel is pruned above 2^12: its O(L log L) recomputation
     makes larger functional runs take minutes without adding signal.
+
+    Two ingest-mode extensions ride on top of the base (``objects``)
+    grid:
+
+    * Every base grid point for ``memory_bounded`` / ``level_by_level``
+      on ``aes128`` / ``siphash`` is repeated with ``ingest="wire"``
+      and ``ingest="arena"``, so the persistent-arena serving path is
+      compared against the per-call stacking path at every shape.
+    * :data:`INGEST` micro-cases at batch 64 and 256 time wire->arena
+      ingestion against the per-key ``from_bytes`` loop — the server's
+      cost of *receiving* a batch, separated from evaluating it.
     """
     prfs = list(prfs) if prfs is not None else available_prfs()
-    strategies = (
-        list(strategies)
-        if strategies is not None
-        else [REFERENCE, *available_strategies()]
-    )
+    # The INGEST micro-cases ride along by default but honor an explicit
+    # strategy restriction (INGEST itself never enters the eval product).
+    include_ingest = bool(prfs) and (strategies is None or INGEST in strategies)
+    ingest_prf = "aes128" if "aes128" in prfs else (prfs[0] if prfs else "aes128")
+    strategies = [
+        s
+        for s in (
+            list(strategies)
+            if strategies is not None
+            else [REFERENCE, *available_strategies()]
+        )
+        if s != INGEST
+    ]
     cases = []
     for prf in prfs:
         for strategy in strategies:
@@ -219,14 +333,47 @@ def default_grid(
                     headline = BenchCase(prf, strategy, 1, 16, repeats=repeats)
                     if headline not in cases:
                         cases.append(headline)
+    # Interleave each ingest-mode variant right after its ``objects``
+    # twin, so twin measurements run back-to-back and host-load drift
+    # across the (minutes-long) grid cannot skew the mode comparison.
+    interleaved: list[BenchCase] = []
+    for base in cases:
+        interleaved.append(base)
+        if base.strategy in ("memory_bounded", "level_by_level") and base.prf in (
+            "aes128",
+            "siphash",
+        ):
+            for mode in ("wire", "arena"):
+                interleaved.append(dataclasses.replace(base, ingest=mode))
+    cases = interleaved
+    if include_ingest:
+        for batch in (64, 256):
+            for log_domain in sorted({min(log_domains), max(log_domains)}):
+                for mode in ("wire", "objects"):
+                    cases.append(
+                        BenchCase(
+                            ingest_prf,
+                            INGEST,
+                            batch,
+                            log_domain,
+                            ingest=mode,
+                            repeats=repeats,
+                        )
+                    )
     return cases
 
 
 def smoke_grid() -> list[BenchCase]:
-    """A seconds-long grid for CI: every strategy once, two PRFs."""
+    """A seconds-long grid for CI: every strategy once, two PRFs,
+    plus one wire-ingest eval, one persistent-arena eval, and one
+    ingestion micro-case so every ingest mode stays exercised."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
+        BenchCase("aes128", "memory_bounded", 2, 8, ingest="wire", repeats=1, warmup=0),
+        BenchCase("aes128", "memory_bounded", 2, 8, ingest="arena", repeats=1, warmup=0),
+        BenchCase("aes128", INGEST, 64, 8, ingest="wire", repeats=1, warmup=0),
+        BenchCase("aes128", INGEST, 64, 8, ingest="objects", repeats=1, warmup=0),
     ]
     for strategy in available_strategies():
         cases.append(BenchCase("siphash", strategy, 1, 8, repeats=1, warmup=0))

@@ -17,7 +17,15 @@ O(lambda L) evaluation:
 
 from repro.dpf.dpf import eval_full, eval_points, gen
 from repro.dpf.ggm import convert_to_u64, expand_level, prg_expand
-from repro.dpf.keys import CorrectionWord, DpfKey, key_size_bytes
+from repro.dpf.keys import (
+    CorrectionWord,
+    DpfKey,
+    key_size_bytes,
+    pack_keys,
+    split_wire,
+    unpack_keys,
+    wire_size,
+)
 
 __all__ = [
     "gen",
@@ -26,6 +34,10 @@ __all__ = [
     "DpfKey",
     "CorrectionWord",
     "key_size_bytes",
+    "wire_size",
+    "pack_keys",
+    "split_wire",
+    "unpack_keys",
     "prg_expand",
     "expand_level",
     "convert_to_u64",

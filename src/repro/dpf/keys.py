@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -18,6 +19,35 @@ from repro.dpf.ggm import log2_ceil
 
 _MAGIC = b"DPF1"
 _U64_MASK = (1 << 64) - 1
+
+_HEADER_FMT = "<4sBBIQB"
+HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+"""Fixed-size wire header: magic, party, log_domain, domain, output_cw, prf_len."""
+
+CW_BYTES = 17
+"""Per-level wire bytes: a 16-byte correction seed plus one packed bit byte."""
+
+
+def _record_size(log_domain: int, prf_len: int) -> int:
+    """Wire bytes of one key record: header, PRF name, root, levels.
+
+    The single source of the record arithmetic — ``from_bytes``,
+    ``split_wire`` and :meth:`repro.gpu.arena.KeyArena.from_wire` all
+    frame records through it.
+    """
+    return HEADER_BYTES + prf_len + 1 + 16 + log_domain * CW_BYTES
+
+
+def wire_size(log_domain: int, prf_name: str = "aes128") -> int:
+    """Serialized size of a key with the given tree depth and PRF name.
+
+    Every key of one ``(log_domain, prf_name)`` shape serializes to the
+    same number of bytes, which is what makes batched wire parsing
+    (:meth:`repro.gpu.arena.KeyArena.from_wire`) a fixed-stride reshape.
+    """
+    if log_domain < 0:
+        raise ValueError(f"log_domain must be non-negative, got {log_domain}")
+    return _record_size(log_domain, len(prf_name.encode()))
 
 
 @dataclass(frozen=True)
@@ -69,14 +99,19 @@ class DpfKey:
 
     @property
     def size_bytes(self) -> int:
-        """Serialized size — the per-query upload cost."""
-        return len(self.to_bytes())
+        """Serialized size — the per-query upload cost.
+
+        Computed from the wire-format arithmetic rather than by
+        serializing; ``test_size_bytes_matches_serialization`` pins the
+        two against each other for every PRF and a range of depths.
+        """
+        return wire_size(self.log_domain, self.prf_name)
 
     def to_bytes(self) -> bytes:
         """Serialize to the wire format (little-endian, versioned)."""
         prf_bytes = self.prf_name.encode()
         header = struct.pack(
-            "<4sBBIQB",
+            _HEADER_FMT,
             _MAGIC,
             self.party,
             self.log_domain,
@@ -97,15 +132,30 @@ class DpfKey:
         Raises:
             ValueError: On a malformed or truncated buffer.
         """
-        header_size = struct.calcsize("<4sBBIQB")
-        if len(data) < header_size:
+        if len(data) < HEADER_BYTES:
             raise ValueError("truncated DPF key")
         magic, party, log_domain, domain_size, output_cw, prf_len = struct.unpack(
-            "<4sBBIQB", data[:header_size]
+            _HEADER_FMT, data[:HEADER_BYTES]
         )
         if magic != _MAGIC:
             raise ValueError(f"bad DPF key magic {magic!r}")
-        offset = header_size
+        # Validate the header semantics and total length up front: a
+        # corrupted domain or a buffer truncated mid-correction-word
+        # must fail here with a clear message, not deep inside
+        # np.frombuffer, CorrectionWord.__post_init__, or — worse —
+        # only once evaluation walks off the correction-word array.
+        if domain_size <= 0 or log2_ceil(domain_size) != log_domain:
+            raise ValueError(
+                f"domain_size {domain_size} is inconsistent with tree "
+                f"depth {log_domain}"
+            )
+        expected = _record_size(log_domain, prf_len)
+        if len(data) != expected:
+            raise ValueError(
+                f"DPF key with depth {log_domain} and a {prf_len}-byte PRF "
+                f"name must be exactly {expected} bytes, got {len(data)}"
+            )
+        offset = HEADER_BYTES
         prf_name = data[offset : offset + prf_len].decode()
         offset += prf_len
         root_t = data[offset]
@@ -119,8 +169,6 @@ class DpfKey:
             bits = data[offset]
             offset += 1
             cws.append(CorrectionWord(seed=seed, t_left=bits & 1, t_right=(bits >> 1) & 1))
-        if offset != len(data):
-            raise ValueError("trailing bytes in DPF key")
         return cls(
             party=party,
             domain_size=domain_size,
@@ -138,6 +186,73 @@ def key_size_bytes(domain_size: int, prf_name: str = "aes128") -> int:
 
     Used by the communication accounting and the batch-PIR planner.
     """
-    log_domain = log2_ceil(max(domain_size, 1))
-    header = struct.calcsize("<4sBBIQB") + len(prf_name.encode()) + 1 + 16
-    return header + log_domain * 17
+    return wire_size(log2_ceil(max(domain_size, 1)), prf_name)
+
+
+def pack_keys(keys: Sequence[DpfKey]) -> bytes:
+    """Concatenate a batch of keys into one wire buffer.
+
+    This is the client->server upload format for a multi-query batch:
+    back-to-back :meth:`DpfKey.to_bytes` records with no extra framing.
+    All keys must share one domain and PRF, which fixes the record size
+    (:func:`wire_size`) and lets the server ingest the whole buffer with
+    one vectorized parse (:meth:`repro.gpu.arena.KeyArena.from_wire`)
+    instead of per-key Python object construction.
+
+    Raises:
+        ValueError: On an empty batch or mixed domains/PRFs.
+    """
+    if not keys:
+        raise ValueError("need at least one key")
+    first = keys[0]
+    for key in keys:
+        if (key.domain_size, key.log_domain, key.prf_name) != (
+            first.domain_size,
+            first.log_domain,
+            first.prf_name,
+        ):
+            raise ValueError("all keys in a batch must share the same domain and PRF")
+    return b"".join(key.to_bytes() for key in keys)
+
+
+def split_wire(data: bytes) -> list[bytes]:
+    """Split a concatenated wire buffer into per-key records.
+
+    Each record's size is read from its own header, so a stream of
+    heterogeneous keys also frames correctly; :func:`pack_keys` output
+    is the homogeneous special case.
+
+    Raises:
+        ValueError: On bad magic or a buffer that ends mid-record.
+    """
+    records = []
+    offset = 0
+    view = memoryview(data)
+    while offset < len(data):
+        if len(data) - offset < HEADER_BYTES:
+            raise ValueError("wire buffer ends mid-header")
+        magic, _, log_domain, _, _, prf_len = struct.unpack_from(
+            _HEADER_FMT, data, offset
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad DPF key magic {magic!r} at offset {offset}")
+        record = _record_size(log_domain, prf_len)
+        if offset + record > len(data):
+            raise ValueError(
+                f"wire buffer ends mid-record: need {record} bytes at "
+                f"offset {offset}, have {len(data) - offset}"
+            )
+        records.append(bytes(view[offset : offset + record]))
+        offset += record
+    return records
+
+
+def unpack_keys(data: bytes) -> list[DpfKey]:
+    """Parse a concatenated wire buffer into key objects.
+
+    This is the reference (per-key, Python-object) ingestion path; the
+    serving hot path uses :meth:`repro.gpu.arena.KeyArena.from_wire`,
+    which parses the same buffer without constructing any per-key
+    objects.
+    """
+    return [DpfKey.from_bytes(record) for record in split_wire(data)]

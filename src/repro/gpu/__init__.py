@@ -17,8 +17,15 @@ package substitutes that hardware with two tightly-coupled layers
 
 The scheduler (:mod:`repro.gpu.scheduler`) reproduces the paper's
 batch- and table-size-aware strategy selection (Section 3.2.5).
+
+:mod:`repro.gpu.arena` holds the serving-path data layer: a persistent
+:class:`KeyArena` built from key objects or straight from wire bytes
+(zero per-key Python objects), zero-copy sharding, a reusable
+:class:`ExpansionWorkspace`, and — through the plans' resident-keys
+mode — amortization of the per-batch PCIe key upload.
 """
 
+from repro.gpu.arena import ExpansionWorkspace, KeyArena
 from repro.gpu.device import A100, DeviceSpec, V100
 from repro.gpu.kernel import KernelPhase, KernelPlan, KernelStats
 from repro.gpu.memory import MemoryMeter
@@ -39,6 +46,8 @@ __all__ = [
     "DeviceSpec",
     "V100",
     "A100",
+    "KeyArena",
+    "ExpansionWorkspace",
     "MemoryMeter",
     "KernelPhase",
     "KernelPlan",

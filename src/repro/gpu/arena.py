@@ -1,0 +1,378 @@
+"""Persistent key arenas: stacked key material for the serving hot path.
+
+A server answering a stream of PIR batches spends its constant factors
+*around* the cryptography: re-packing `DpfKey` objects into stacked
+arrays on every ``eval_batch`` call, re-stacking per multi-GPU shard,
+and — worst of all — building one Python object per wire key before any
+vectorized work can start.  :class:`KeyArena` removes all three:
+
+* :meth:`KeyArena.from_keys` stacks key objects once (the former
+  private ``_stack_keys`` in :mod:`repro.gpu.strategies`).
+* :meth:`KeyArena.from_wire` parses a concatenated wire buffer
+  (:func:`repro.dpf.keys.pack_keys`) with one ``np.frombuffer`` and a
+  fixed-stride reshape — zero per-key Python object construction.
+* Slicing (``arena[a:b]``) returns *views*, so
+  :class:`~repro.gpu.multigpu.MultiGpuExecutor` shards a batch without
+  copying a byte.
+
+On the modeled device the arena is what stays resident in global memory
+between batches (the kernel plans' ``resident_bytes``), which is what
+lets the resident-keys serving mode amortize ``host_bytes_in`` to zero.
+
+:class:`ExpansionWorkspace` is the companion scratch discipline: the
+ping-pong frontier and tile buffers (and the cipher staging copy) that
+the expansion loops would otherwise reallocate per call, kept alive and
+grown on demand across repeated ``eval_batch`` invocations — PR 2's AES
+scratch workspace, lifted to the expansion loop.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dpf.ggm import log2_ceil
+from repro.dpf.keys import (
+    CW_BYTES,
+    HEADER_BYTES,
+    _HEADER_FMT,
+    _MAGIC,
+    _record_size,
+    CorrectionWord,
+    DpfKey,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class KeyArena:
+    """A batch of same-domain DPF keys in structure-of-arrays layout.
+
+    This is the layout every strategy's vectorized traversal consumes
+    directly, and the layout that would be uploaded once per batch to a
+    real device.  All arrays share the leading batch axis; slicing the
+    arena slices them as views.
+
+    Attributes:
+        batch: Number of keys B.
+        depth: Tree depth n (``log_domain`` of every key).
+        domain_size: Addressable indices L (shared by every key).
+        prf_name: PRF registry name (shared by every key).
+        roots: ``(B, 16)`` uint8 root seeds.
+        root_ts: ``(B,)`` uint8 root control bits.
+        cw_seeds: ``(B, n, 16)`` uint8 correction seeds.
+        cw_t_left: ``(B, n)`` uint8 left control-bit corrections.
+        cw_t_right: ``(B, n)`` uint8 right control-bit corrections.
+        output_cws: ``(B,)`` uint64 output correction words.
+        negate: ``(B,)`` bool — party-1 rows get sign-flipped.
+    """
+
+    batch: int
+    depth: int
+    domain_size: int
+    prf_name: str
+    roots: np.ndarray
+    root_ts: np.ndarray
+    cw_seeds: np.ndarray
+    cw_t_left: np.ndarray
+    cw_t_right: np.ndarray
+    output_cws: np.ndarray
+    negate: np.ndarray
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_keys(cls, keys: list[DpfKey], prf_name: str | None = None) -> "KeyArena":
+        """Stack key objects into an arena.
+
+        Args:
+            keys: Non-empty batch of same-domain, same-PRF keys.
+            prf_name: When given, the PRF the evaluator will use; a
+                mismatch raises instead of silently diverging.
+
+        Raises:
+            ValueError: On an empty batch, mixed domains/PRFs, or a
+                ``prf_name`` mismatch.
+        """
+        if not keys:
+            raise ValueError("need at least one key")
+        first = keys[0]
+        want_prf = prf_name if prf_name is not None else first.prf_name
+        for key in keys:
+            if key.prf_name != want_prf:
+                raise ValueError(
+                    f"key was generated for PRF {key.prf_name!r} but evaluation "
+                    f"uses {want_prf!r}; the parties would not reconstruct"
+                )
+            if (key.domain_size, key.log_domain) != (first.domain_size, first.log_domain):
+                raise ValueError("all keys in a batch must share the same domain")
+        b, n = len(keys), first.log_domain
+        if n:
+            cw_seeds = np.array(
+                [[cw.seed for cw in key.correction_words] for key in keys],
+                dtype=np.uint8,
+            ).reshape(b, n, 16)
+            cw_bits = np.array(
+                [
+                    [(cw.t_left, cw.t_right) for cw in key.correction_words]
+                    for key in keys
+                ],
+                dtype=np.uint8,
+            ).reshape(b, n, 2)
+            cw_tl = np.ascontiguousarray(cw_bits[:, :, 0])
+            cw_tr = np.ascontiguousarray(cw_bits[:, :, 1])
+        else:
+            cw_seeds = np.zeros((b, 0, 16), dtype=np.uint8)
+            cw_tl = np.zeros((b, 0), dtype=np.uint8)
+            cw_tr = np.zeros((b, 0), dtype=np.uint8)
+        return cls(
+            batch=b,
+            depth=n,
+            domain_size=first.domain_size,
+            prf_name=want_prf,
+            roots=np.stack([k.root_seed for k in keys]),
+            root_ts=np.array([k.root_t for k in keys], dtype=np.uint8),
+            cw_seeds=cw_seeds,
+            cw_t_left=cw_tl,
+            cw_t_right=cw_tr,
+            output_cws=np.array([k.output_cw for k in keys], dtype=np.uint64),
+            negate=np.array([k.party == 1 for k in keys]),
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "KeyArena":
+        """Parse a concatenated wire buffer into an arena, vectorized.
+
+        The buffer is :func:`repro.dpf.keys.pack_keys` output:
+        back-to-back fixed-size records (the size follows from the
+        shared domain and PRF).  The whole parse is one
+        ``np.frombuffer`` + fixed-stride reshape + column slices; no
+        per-key Python objects are built.  Per-record validation
+        (magic, party, homogeneous domain and PRF) is vectorized too.
+
+        Raises:
+            ValueError: On an empty/truncated buffer, bad magic, an
+                invalid party byte, or records that do not all share the
+                first record's domain and PRF.
+        """
+        if len(data) < HEADER_BYTES:
+            raise ValueError("truncated DPF key batch")
+        magic, _, depth, domain_size, _, prf_len = struct.unpack_from(_HEADER_FMT, data)
+        if magic != _MAGIC:
+            raise ValueError(f"bad DPF key magic {magic!r}")
+        if domain_size <= 0 or log2_ceil(domain_size) != depth:
+            raise ValueError(
+                f"domain_size {domain_size} is inconsistent with tree depth {depth}"
+            )
+        record = _record_size(depth, prf_len)
+        if len(data) % record:
+            raise ValueError(
+                f"wire buffer of {len(data)} bytes is not a whole number of "
+                f"{record}-byte key records"
+            )
+        b = len(data) // record
+        mat = np.frombuffer(data, dtype=np.uint8).reshape(b, record)
+
+        if not (mat[:, :4] == np.frombuffer(_MAGIC, dtype=np.uint8)).all():
+            raise ValueError("bad DPF key magic inside batch")
+        parties = mat[:, 4]
+        if not ((parties == 0) | (parties == 1)).all():
+            raise ValueError("party must be 0 or 1")
+        # Homogeneity: depth + domain (header bytes 5..9) and the PRF
+        # name must match the first record, or the fixed stride (and the
+        # batch itself) is meaningless.
+        if not (mat[:, 5:10] == mat[0, 5:10]).all():
+            raise ValueError("all keys in a batch must share the same domain")
+        name_end = HEADER_BYTES + prf_len
+        if not (mat[:, HEADER_BYTES - 1] == prf_len).all() or not (
+            mat[:, HEADER_BYTES:name_end] == mat[0, HEADER_BYTES:name_end]
+        ).all():
+            raise ValueError("all keys in a batch must share the same PRF")
+        prf_name = bytes(mat[0, HEADER_BYTES:name_end]).decode()
+
+        output_cws = (
+            np.ascontiguousarray(mat[:, 10:18]).view(np.dtype("<u8")).reshape(b)
+        ).astype(np.uint64, copy=False)
+        root_ts = mat[:, name_end].copy()
+        roots = np.ascontiguousarray(mat[:, name_end + 1 : name_end + 17])
+        cw = mat[:, name_end + 17 :].reshape(b, depth, CW_BYTES)
+        cw_seeds = np.ascontiguousarray(cw[:, :, :16])
+        bits = cw[:, :, 16]
+        return cls(
+            batch=b,
+            depth=depth,
+            domain_size=domain_size,
+            prf_name=prf_name,
+            roots=roots,
+            root_ts=root_ts,
+            cw_seeds=cw_seeds,
+            cw_t_left=bits & np.uint8(1),
+            cw_t_right=(bits >> np.uint8(1)) & np.uint8(1),
+            output_cws=output_cws,
+            negate=parties == 1,
+        )
+
+    # -- views and round trips -----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Field-for-field equality (array fields compared by value)."""
+        if not isinstance(other, KeyArena):
+            return NotImplemented
+        scalars = ("batch", "depth", "domain_size", "prf_name")
+        arrays = (
+            "roots",
+            "root_ts",
+            "cw_seeds",
+            "cw_t_left",
+            "cw_t_right",
+            "output_cws",
+            "negate",
+        )
+        return all(getattr(self, f) == getattr(other, f) for f in scalars) and all(
+            np.array_equal(getattr(self, f), getattr(other, f)) for f in arrays
+        )
+
+    def __len__(self) -> int:
+        return self.batch
+
+    def __getitem__(self, index: slice) -> "KeyArena":
+        """Zero-copy shard: every array of the result views this arena."""
+        if not isinstance(index, slice):
+            raise TypeError("KeyArena supports slice indexing only")
+        roots = self.roots[index]
+        return KeyArena(
+            batch=roots.shape[0],
+            depth=self.depth,
+            domain_size=self.domain_size,
+            prf_name=self.prf_name,
+            roots=roots,
+            root_ts=self.root_ts[index],
+            cw_seeds=self.cw_seeds[index],
+            cw_t_left=self.cw_t_left[index],
+            cw_t_right=self.cw_t_right[index],
+            output_cws=self.output_cws[index],
+            negate=self.negate[index],
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of stacked key material (the device-resident footprint)."""
+        return (
+            self.roots.nbytes
+            + self.root_ts.nbytes
+            + self.cw_seeds.nbytes
+            + self.cw_t_left.nbytes
+            + self.cw_t_right.nbytes
+            + self.output_cws.nbytes
+            + self.negate.nbytes
+        )
+
+    def require_prf(self, prf_name: str) -> None:
+        """Raise unless the arena's keys were generated for ``prf_name``."""
+        if self.prf_name != prf_name:
+            raise ValueError(
+                f"key was generated for PRF {self.prf_name!r} but evaluation "
+                f"uses {prf_name!r}; the parties would not reconstruct"
+            )
+
+    def to_keys(self) -> list[DpfKey]:
+        """Reconstruct the per-key objects (tests and debugging only)."""
+        keys = []
+        for i in range(self.batch):
+            cws = [
+                CorrectionWord(
+                    seed=self.cw_seeds[i, level].copy(),
+                    t_left=int(self.cw_t_left[i, level]),
+                    t_right=int(self.cw_t_right[i, level]),
+                )
+                for level in range(self.depth)
+            ]
+            keys.append(
+                DpfKey(
+                    party=1 if self.negate[i] else 0,
+                    domain_size=self.domain_size,
+                    log_domain=self.depth,
+                    root_seed=self.roots[i].copy(),
+                    root_t=int(self.root_ts[i]),
+                    correction_words=cws,
+                    output_cw=int(self.output_cws[i]),
+                    prf_name=self.prf_name,
+                )
+            )
+        return keys
+
+
+class ExpansionWorkspace:
+    """Grow-on-demand scratch buffers for repeated ``eval_batch`` calls.
+
+    The breadth-first expansion loops ping-pong the frontier between two
+    buffer pairs and stage one contiguous copy of the parent frontier
+    per level for the fused cipher pass.  Without a workspace those
+    buffers are reallocated on every call; a server evaluating batch
+    after batch against the same arena passes one workspace instead and
+    the buffers persist, growing monotonically to the largest shape
+    seen.
+
+    Buffers are handed out as prefix views, and every expansion loop
+    fully overwrites a view before reading it, so reuse cannot leak
+    state between calls (``test_workspace_reuse_is_bit_identical``).
+    The returned share matrices are *never* workspace-backed — results
+    stay valid after the next call.
+
+    Not thread-safe: use one workspace per serving thread (or per
+    device, as :class:`~repro.gpu.multigpu.MultiGpuExecutor` does).
+    """
+
+    def __init__(self):
+        self._pairs: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._stages: dict[str, np.ndarray] = {}
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently retained across all slots."""
+        total = sum(sum(a.nbytes for a in bufs) for bufs in self._pairs.values())
+        return total + sum(a.nbytes for a in self._stages.values())
+
+    def frontier_pair(
+        self, name: str, batch: int, cap: int
+    ) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+        """Ping-pong buffer pairs for one expansion loop.
+
+        Args:
+            name: Slot name; loops that are live at the same time (the
+                cooperative-groups frontier and its tile loop) must use
+                distinct names.
+            batch: Leading batch dimension B.
+            cap: Maximum frontier width the loop will write.
+
+        Returns:
+            ``(seed_pair, ts_pair)`` where each element of ``seed_pair``
+            is a ``(B, cap, 16)`` uint8 view and each element of
+            ``ts_pair`` a ``(B, cap)`` uint8 view.
+        """
+        entry = self._pairs.get(name)
+        if entry is None or entry[0].shape[0] < batch or entry[0].shape[1] < cap:
+            grow_b = batch if entry is None else max(batch, entry[0].shape[0])
+            grow_c = cap if entry is None else max(cap, entry[0].shape[1])
+            entry = (
+                np.empty((grow_b, grow_c, 16), dtype=np.uint8),
+                np.empty((grow_b, grow_c, 16), dtype=np.uint8),
+                np.empty((grow_b, grow_c), dtype=np.uint8),
+                np.empty((grow_b, grow_c), dtype=np.uint8),
+            )
+            self._pairs[name] = entry
+        s0, s1, t0, t1 = entry
+        return (
+            (s0[:batch, :cap], s1[:batch, :cap]),
+            (t0[:batch, :cap], t1[:batch, :cap]),
+        )
+
+    def stage(self, name: str, rows: int) -> np.ndarray:
+        """A contiguous ``(rows, 16)`` uint8 staging buffer."""
+        buf = self._stages.get(name)
+        if buf is None or buf.shape[0] < rows:
+            grow = rows if buf is None else max(rows, buf.shape[0])
+            buf = np.empty((grow, 16), dtype=np.uint8)
+            self._stages[name] = buf
+        return buf[:rows]

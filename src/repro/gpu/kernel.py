@@ -56,8 +56,13 @@ class KernelPlan:
         phases: Ordered phases.
         peak_mem_bytes: Device-memory high-water mark (excludes the
             table itself, which is resident across batches).
-        host_bytes_in: Host->device transfer (keys).
+        host_bytes_in: Host->device transfer (keys); zero for a
+            resident-keys plan, whose arena was uploaded out of band.
         host_bytes_out: Device->host transfer (answer shares).
+        resident_bytes: Device memory pinned for the plan's lifetime
+            beyond the table — the uploaded key arena in resident-keys
+            mode.  Counted against capacity like the table, not against
+            the per-batch working set.
         prf_name: Registry name of the PRF the plan's work assumes.
         prf_cost: Relative per-block PRF cost (AES-128 = 1.0); the
             simulator divides the device's calibrated AES rate by this.
@@ -72,12 +77,18 @@ class KernelPlan:
     peak_mem_bytes: int = 0
     host_bytes_in: int = 0
     host_bytes_out: int = 0
+    resident_bytes: int = 0
     prf_name: str = "aes128"
     prf_cost: float = 1.0
 
     @property
     def total_prf_blocks(self) -> int:
         return sum(p.prf_blocks for p in self.phases)
+
+    @property
+    def resident_keys(self) -> bool:
+        """Whether the plan serves from an already-uploaded key arena."""
+        return self.resident_bytes > 0
 
     def fits(self, free_mem_bytes: int) -> bool:
         """Whether the plan's working set fits in the given free memory."""

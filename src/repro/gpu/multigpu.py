@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.crypto.prf import Prf
 from repro.dpf.keys import DpfKey
+from repro.gpu.arena import ExpansionWorkspace, KeyArena
 from repro.gpu.device import DeviceSpec
 from repro.gpu.scheduler import Scheduler, Selection
 from repro.gpu.strategies import get_strategy
@@ -92,30 +93,47 @@ class MultiGpuExecutor:
             raise ValueError("need at least one device")
         self.devices = list(devices)
         self.schedulers = [Scheduler(d, entry_bytes=entry_bytes) for d in self.devices]
+        # One persistent scratch workspace per device: repeated
+        # eval_batch calls reuse the ping-pong frontier buffers instead
+        # of reallocating them per shard per batch.
+        self.workspaces = [ExpansionWorkspace() for _ in self.devices]
 
     def _shard_sizes(
-        self, batch_size: int, table_entries: int, prf_name: str
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str,
+        resident_keys: bool = False,
     ) -> list[int]:
         """Throughput-proportional shard sizes (largest-remainder)."""
         probe = max(1, batch_size // len(self.devices))
         weights = [
-            sched.throughput_qps(probe, table_entries, prf_name)
+            sched.throughput_qps(probe, table_entries, prf_name, resident_keys)
             for sched in self.schedulers
         ]
         return _largest_remainder(batch_size, weights)
 
     def execute(
-        self, batch_size: int, table_entries: int, prf_name: str = "aes128"
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> MultiGpuStats:
-        """Simulate one sharded batch; see :class:`MultiGpuStats`."""
+        """Simulate one sharded batch; see :class:`MultiGpuStats`.
+
+        With ``resident_keys=True`` every shard is priced as serving
+        from an arena already uploaded to its device (no per-batch PCIe
+        key transfer).
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        shares = self._shard_sizes(batch_size, table_entries, prf_name)
+        shares = self._shard_sizes(batch_size, table_entries, prf_name, resident_keys)
         shards = []
         for device, scheduler, share in zip(self.devices, self.schedulers, shares):
             if share == 0:
                 continue
-            selection = scheduler.select(share, table_entries, prf_name)
+            selection = scheduler.select(share, table_entries, prf_name, resident_keys)
             shards.append(
                 ShardReport(device_name=device.name, batch_size=share, selection=selection)
             )
@@ -129,27 +147,41 @@ class MultiGpuExecutor:
             shards=tuple(shards),
         )
 
-    def eval_batch(self, keys: list[DpfKey], prf: Prf) -> np.ndarray:
+    def eval_batch(
+        self, keys: list[DpfKey] | KeyArena, prf: Prf, resident_keys: bool = False
+    ) -> np.ndarray:
         """Functionally evaluate a key batch with the per-shard winners.
 
         Shards the keys exactly as :meth:`execute` would shard the
         batch, runs each shard through its scheduler-selected strategy,
         and concatenates the ``(B, L)`` share matrix in input order.
+
+        The batch is stacked into one :class:`KeyArena` (or taken
+        as-is when already an arena); each device's shard is a
+        zero-copy slice of it, and each device reuses its persistent
+        :class:`ExpansionWorkspace`, so no key material is restacked
+        per shard.  ``resident_keys`` only affects the simulated shard
+        selection; the functional result is bit-identical either way.
         """
-        if not keys:
+        if isinstance(keys, KeyArena):
+            keys.require_prf(prf.name)
+            arena = keys
+        else:
+            arena = KeyArena.from_keys(list(keys), prf_name=prf.name)
+        if len(arena) == 0:
             raise ValueError("need at least one key")
-        table_entries = keys[0].domain_size
-        if any(k.domain_size != table_entries for k in keys):
-            raise ValueError("all keys in a batch must share the same domain")
-        shares = self._shard_sizes(len(keys), table_entries, prf.name)
+        table_entries = arena.domain_size
+        shares = self._shard_sizes(len(arena), table_entries, prf.name, resident_keys)
         outputs = []
         start = 0
-        for scheduler, share in zip(self.schedulers, shares):
+        for scheduler, workspace, share in zip(
+            self.schedulers, self.workspaces, shares
+        ):
             if share == 0:
                 continue
-            shard_keys = keys[start : start + share]
+            shard = arena[start : start + share]
             start += share
-            selection = scheduler.select(share, table_entries, prf.name)
+            selection = scheduler.select(share, table_entries, prf.name, resident_keys)
             strategy = get_strategy(selection.strategy)
-            outputs.append(strategy.eval_batch(shard_keys, prf))
+            outputs.append(strategy.eval_batch(shard, prf, workspace=workspace))
         return np.concatenate(outputs, axis=0)

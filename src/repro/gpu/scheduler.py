@@ -51,6 +51,7 @@ def select_strategy(
     device: DeviceSpec = V100,
     entry_bytes: int = 8,
     strategies: list[Strategy] | None = None,
+    resident_keys: bool = False,
 ) -> Selection:
     """Pick the fastest feasible strategy for a workload shape.
 
@@ -62,6 +63,10 @@ def select_strategy(
         entry_bytes: Bytes per table entry.
         strategies: Candidate pool (default: every registered strategy
             with default parameters).
+        resident_keys: Price the batch as served from an
+            already-uploaded :class:`~repro.gpu.arena.KeyArena`
+            (``host_bytes_in`` amortized to zero, arena charged against
+            device capacity).
 
     Raises:
         ValueError: If ``batch_size``/``table_entries`` are not
@@ -78,7 +83,9 @@ def select_strategy(
 
     priced: list[tuple[str, KernelPlan, KernelStats]] = []
     for strategy in candidates:
-        plan = strategy.plan(batch_size, table_entries, entry_bytes, prf_name)
+        plan = strategy.plan(
+            batch_size, table_entries, entry_bytes, prf_name, resident_keys
+        )
         priced.append((strategy.name, plan, simulator.simulate(plan)))
 
     priced.sort(key=lambda item: (not item[2].feasible, -item[2].throughput_qps))
@@ -113,13 +120,17 @@ class Scheduler:
         self.device = device
         self.entry_bytes = entry_bytes
         self.strategies = strategies if strategies is not None else default_strategies()
-        self._cache: dict[tuple[int, int, str], Selection] = {}
+        self._cache: dict[tuple[int, int, str, bool], Selection] = {}
 
     def select(
-        self, batch_size: int, table_entries: int, prf_name: str = "aes128"
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> Selection:
         """Cached :func:`select_strategy` for this scheduler's device."""
-        key = (batch_size, table_entries, prf_name)
+        key = (batch_size, table_entries, prf_name, resident_keys)
         if key not in self._cache:
             self._cache[key] = select_strategy(
                 batch_size,
@@ -128,11 +139,18 @@ class Scheduler:
                 device=self.device,
                 entry_bytes=self.entry_bytes,
                 strategies=self.strategies,
+                resident_keys=resident_keys,
             )
         return self._cache[key]
 
     def throughput_qps(
-        self, batch_size: int, table_entries: int, prf_name: str = "aes128"
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> float:
         """Simulated best-strategy throughput for a workload shape."""
-        return self.select(batch_size, table_entries, prf_name).stats.throughput_qps
+        return self.select(
+            batch_size, table_entries, prf_name, resident_keys
+        ).stats.throughput_qps

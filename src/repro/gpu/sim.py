@@ -17,7 +17,9 @@ simple but captures every first-order effect the paper measures:
   its global-memory time, never the sum.
 * **Fixed overheads** — kernel launches, device-wide syncs, a
   calibrated per-query cost, and PCIe transfers for keys in and answer
-  shares out.
+  shares out.  A resident-keys plan (``KernelPlan.resident_bytes``)
+  has already uploaded its key arena, so its ``host_bytes_in`` is zero
+  and the arena is charged against capacity instead.
 * **Capacity** — a plan whose working set does not fit beside the
   resident table is reported with ``feasible=False`` (its timing
   fields are then upper bounds, as documented on ``KernelStats``).
@@ -46,8 +48,17 @@ class GpuSimulator:
         self.device = device
 
     def free_mem_bytes(self, plan: KernelPlan) -> int:
-        """Device memory left for the plan after the resident table."""
-        return self.device.global_mem_bytes - plan.table_entries * plan.entry_bytes
+        """Device memory left for the plan's working set.
+
+        Both the replicated table and (in resident-keys mode) the
+        uploaded key arena stay in device memory across the batch, so
+        both are subtracted before the peak working set must fit.
+        """
+        return (
+            self.device.global_mem_bytes
+            - plan.table_entries * plan.entry_bytes
+            - plan.resident_bytes
+        )
 
     def _phase_rate_factor(self, phase: KernelPhase) -> tuple[float, bool]:
         """Fraction of peak device throughput a phase can sustain.

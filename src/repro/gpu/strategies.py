@@ -44,6 +44,7 @@ import numpy as np
 from repro.crypto.prf import Prf, get_prf, seeds_to_u64
 from repro.dpf import ggm
 from repro.dpf.keys import DpfKey, key_size_bytes
+from repro.gpu.arena import ExpansionWorkspace, KeyArena
 from repro.gpu.kernel import KernelPhase, KernelPlan
 from repro.gpu.memory import MemoryMeter
 
@@ -81,68 +82,6 @@ class StrategyCost:
     parallel_width: int
 
 
-@dataclass(frozen=True)
-class _KeyBatch:
-    """Stacked key material for vectorized multi-key evaluation."""
-
-    batch: int
-    depth: int
-    domain_size: int
-    roots: np.ndarray  # (B, 16) uint8
-    root_ts: np.ndarray  # (B,) uint8
-    cw_seeds: np.ndarray  # (B, n, 16) uint8
-    cw_t_left: np.ndarray  # (B, n) uint8
-    cw_t_right: np.ndarray  # (B, n) uint8
-    output_cws: np.ndarray  # (B,) uint64
-    negate: np.ndarray  # (B,) bool — party-1 rows get sign-flipped
-
-
-def _stack_keys(keys: list[DpfKey], prf: Prf) -> _KeyBatch:
-    if not keys:
-        raise ValueError("need at least one key")
-    first = keys[0]
-    for key in keys:
-        if key.prf_name != prf.name:
-            raise ValueError(
-                f"key was generated for PRF {key.prf_name!r} but evaluation "
-                f"uses {prf.name!r}; the parties would not reconstruct"
-            )
-        if (key.domain_size, key.log_domain) != (first.domain_size, first.log_domain):
-            raise ValueError("all keys in a batch must share the same domain")
-    b, n = len(keys), first.log_domain
-    if n:
-        # Single vectorized constructors instead of a B x n Python loop
-        # of element assignments (the packed key arena for a batch).
-        cw_seeds = np.array(
-            [[cw.seed for cw in key.correction_words] for key in keys], dtype=np.uint8
-        ).reshape(b, n, 16)
-        cw_bits = np.array(
-            [
-                [(cw.t_left, cw.t_right) for cw in key.correction_words]
-                for key in keys
-            ],
-            dtype=np.uint8,
-        ).reshape(b, n, 2)
-        cw_tl = np.ascontiguousarray(cw_bits[:, :, 0])
-        cw_tr = np.ascontiguousarray(cw_bits[:, :, 1])
-    else:
-        cw_seeds = np.zeros((b, 0, 16), dtype=np.uint8)
-        cw_tl = np.zeros((b, 0), dtype=np.uint8)
-        cw_tr = np.zeros((b, 0), dtype=np.uint8)
-    return _KeyBatch(
-        batch=b,
-        depth=n,
-        domain_size=first.domain_size,
-        roots=np.stack([k.root_seed for k in keys]),
-        root_ts=np.array([k.root_t for k in keys], dtype=np.uint8),
-        cw_seeds=cw_seeds,
-        cw_t_left=cw_tl,
-        cw_t_right=cw_tr,
-        output_cws=np.array([k.output_cw for k in keys], dtype=np.uint64),
-        negate=np.array([k.party == 1 for k in keys]),
-    )
-
-
 def _expand_level_batch(
     prf: Prf,
     seeds: np.ndarray,  # (B, W, 16)
@@ -151,16 +90,25 @@ def _expand_level_batch(
     cw_t_left: np.ndarray,  # (B,)
     cw_t_right: np.ndarray,  # (B,)
     out: tuple[np.ndarray, np.ndarray] | None = None,
+    stage: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched :func:`repro.dpf.ggm.expand_level` with per-key corrections.
 
     One fused cipher pass per call; seed corrections are uint64-view
     XORs applied in place on the cipher output.  ``out``, when given,
     receives the interleaved children (ping-pong buffers from
-    ``_expand_to_level``).
+    ``_expand_to_level``).  ``stage``, when given, is a reusable
+    ``(b*w, 16)`` buffer for the contiguous cipher-input copy a
+    non-contiguous frontier needs (from :class:`ExpansionWorkspace`).
     """
     b, w, _ = seeds.shape
-    flat = np.ascontiguousarray(seeds).reshape(b * w, 16)
+    if seeds.flags.c_contiguous:
+        flat = seeds.reshape(b * w, 16)
+    elif stage is not None:
+        flat = stage
+        flat.reshape(b, w, 16)[:] = seeds
+    else:
+        flat = np.ascontiguousarray(seeds).reshape(b * w, 16)
     left, right = prf.expand_pair(flat)
     # Control bits come from the *uncorrected* child blocks.
     t_left = (left[:, 0] & 1).reshape(b, w)
@@ -218,21 +166,44 @@ class Strategy(abc.ABC):
         return self.eval_batch([key], prf, meter)[0]
 
     def eval_batch(
-        self, keys: list[DpfKey], prf: Prf, meter: MemoryMeter | None = None
+        self,
+        keys: list[DpfKey] | KeyArena,
+        prf: Prf,
+        meter: MemoryMeter | None = None,
+        workspace: ExpansionWorkspace | None = None,
     ) -> np.ndarray:
         """Expand a batch of same-domain keys; ``(B, L)`` uint64 shares.
+
+        ``keys`` may be a list of key objects (stacked into a fresh
+        :class:`KeyArena` per call) or an already-built arena — the
+        serving hot path, where the stacking (or the vectorized wire
+        parse) happened once upstream.  ``workspace``, when given, keeps
+        the ping-pong frontier buffers alive across calls; the returned
+        share matrix is never workspace-backed.
 
         All device-side expansion buffers are reported to ``meter``; the
         meter's ``current`` returns to zero before this method returns
         (buffers are released once the answer shares leave the device).
         """
-        batch = _stack_keys(list(keys), prf)
+        if isinstance(keys, KeyArena):
+            if len(keys) == 0:
+                raise ValueError("need at least one key")
+            keys.require_prf(prf.name)
+            arena = keys
+        else:
+            arena = KeyArena.from_keys(list(keys), prf_name=prf.name)
         meter = meter if meter is not None else MemoryMeter()
-        return self._eval(batch, prf, meter)
+        return self._eval(arena, prf, meter, workspace)
 
     @abc.abstractmethod
-    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
-        """Strategy-specific traversal over a stacked key batch."""
+    def _eval(
+        self,
+        kb: KeyArena,
+        prf: Prf,
+        meter: MemoryMeter,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> np.ndarray:
+        """Strategy-specific traversal over a stacked key arena."""
 
     @abc.abstractmethod
     def cost(self, batch_size: int, domain_size: int) -> StrategyCost:
@@ -245,6 +216,7 @@ class Strategy(abc.ABC):
         table_entries: int,
         entry_bytes: int = 8,
         prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> KernelPlan:
         """Device execution recipe for the simulator.
 
@@ -253,6 +225,13 @@ class Strategy(abc.ABC):
         device: branch-parallel path seeds live in registers and
         cooperative-groups tiles in shared memory, so neither occupies
         global memory.
+
+        With ``resident_keys=True`` the plan models serving from a
+        :class:`KeyArena` already uploaded to the device: the per-batch
+        key transfer (``host_bytes_in``) is amortized to zero and the
+        arena instead occupies device memory for the plan's lifetime
+        (``resident_bytes``), which the simulator's capacity check
+        accounts for.
         """
 
     # -- shared pieces -------------------------------------------------
@@ -264,37 +243,49 @@ class Strategy(abc.ABC):
         return ggm.log2_ceil(domain_size)
 
     def _plan_common(
-        self, batch_size: int, table_entries: int, entry_bytes: int, prf_name: str
+        self,
+        batch_size: int,
+        table_entries: int,
+        entry_bytes: int,
+        prf_name: str,
+        resident_keys: bool = False,
     ) -> dict:
+        key_bytes = batch_size * key_size_bytes(table_entries, prf_name)
         return dict(
             strategy=self.name,
             batch_size=batch_size,
             table_entries=table_entries,
             entry_bytes=entry_bytes,
             fused=self.fused,
-            host_bytes_in=batch_size * key_size_bytes(table_entries, prf_name),
+            host_bytes_in=0 if resident_keys else key_bytes,
             host_bytes_out=batch_size * entry_bytes,
+            resident_bytes=key_bytes if resident_keys else 0,
             prf_name=prf_name,
             prf_cost=get_prf(prf_name).gpu_cost,
         )
 
-    def _alloc_root(self, kb: _KeyBatch, meter: MemoryMeter) -> tuple[np.ndarray, np.ndarray]:
+    def _alloc_root(self, kb: KeyArena, meter: MemoryMeter) -> tuple[np.ndarray, np.ndarray]:
         seeds = meter.alloc_array(kb.roots[:, np.newaxis, :].copy())
         ts = meter.alloc_array(kb.root_ts[:, np.newaxis].copy())
         return seeds, ts
 
     def _expand_to_level(
         self,
-        kb: _KeyBatch,
+        kb: KeyArena,
         prf: Prf,
         meter: MemoryMeter,
         stop_level: int,
+        workspace: ExpansionWorkspace | None = None,
+        slot: str = "frontier",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Breadth-first expansion of the batch down to ``stop_level``.
 
         The growing frontier ping-pongs between two preallocated buffer
         pairs (level ``l`` reads one and writes prefix views of the
-        other), replacing the old per-level frontier allocations.  For
+        other), replacing the old per-level frontier allocations.  With
+        a ``workspace`` the buffer pairs (slot ``slot``) and the cipher
+        staging copy persist across calls instead of being reallocated
+        per batch.  For
         ``batch > 1`` the prefix view is non-contiguous, so the cipher
         still stages one contiguous copy of the *parent* frontier per
         level inside ``_expand_level_batch`` — equivalent to the
@@ -307,14 +298,17 @@ class Strategy(abc.ABC):
         if stop_level == 0:
             return self._alloc_root(kb, meter)
         b, cap = kb.batch, 1 << stop_level
-        back_seeds = (
-            np.empty((b, cap, 16), dtype=np.uint8),
-            np.empty((b, cap, 16), dtype=np.uint8),
-        )
-        back_ts = (
-            np.empty((b, cap), dtype=np.uint8),
-            np.empty((b, cap), dtype=np.uint8),
-        )
+        if workspace is not None:
+            back_seeds, back_ts = workspace.frontier_pair(slot, b, cap)
+        else:
+            back_seeds = (
+                np.empty((b, cap, 16), dtype=np.uint8),
+                np.empty((b, cap, 16), dtype=np.uint8),
+            )
+            back_ts = (
+                np.empty((b, cap), dtype=np.uint8),
+                np.empty((b, cap), dtype=np.uint8),
+            )
         seeds = back_seeds[0][:, :1]
         ts = back_ts[0][:, :1]
         seeds[:] = kb.roots[:, np.newaxis, :]
@@ -325,6 +319,9 @@ class Strategy(abc.ABC):
             width = 2 << level
             new_seeds = back_seeds[side][:, :width]
             new_ts = back_ts[side][:, :width]
+            stage = None
+            if workspace is not None:
+                stage = workspace.stage(slot, b * (width >> 1))
             _expand_level_batch(
                 prf,
                 seeds,
@@ -333,6 +330,7 @@ class Strategy(abc.ABC):
                 kb.cw_t_left[:, level],
                 kb.cw_t_right[:, level],
                 out=(new_seeds, new_ts),
+                stage=stage,
             )
             meter.alloc_arrays(new_seeds, new_ts)
             meter.free_arrays(seeds, ts)
@@ -392,7 +390,15 @@ class BranchParallel(Strategy):
     name = "branch_parallel"
     fused = True
 
-    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+    def _eval(
+        self,
+        kb: KeyArena,
+        prf: Prf,
+        meter: MemoryMeter,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> np.ndarray:
+        # No ping-pong frontier to reuse: every level's children come
+        # straight out of the cipher, so the workspace is unused here.
         b, n, domain = kb.batch, kb.depth, kb.domain_size
         leaf_idx = np.arange(domain, dtype=np.int64)
         seeds = meter.alloc_array(
@@ -447,6 +453,7 @@ class BranchParallel(Strategy):
         table_entries: int,
         entry_bytes: int = 8,
         prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> KernelPlan:
         n = self._depth(table_entries)
         width = batch_size * table_entries
@@ -469,7 +476,9 @@ class BranchParallel(Strategy):
         return KernelPlan(
             phases=[phase],
             peak_mem_bytes=peak,
-            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+            **self._plan_common(
+                batch_size, table_entries, entry_bytes, prf_name, resident_keys
+            ),
         )
 
 
@@ -485,8 +494,14 @@ class LevelByLevel(Strategy):
     name = "level_by_level"
     fused = False
 
-    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
-        seeds, ts = self._expand_to_level(kb, prf, meter, kb.depth)
+    def _eval(
+        self,
+        kb: KeyArena,
+        prf: Prf,
+        meter: MemoryMeter,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> np.ndarray:
+        seeds, ts = self._expand_to_level(kb, prf, meter, kb.depth, workspace)
         values = _leaf_values_batch(seeds, ts, kb.output_cws, kb.negate)
         meter.alloc_array(values)  # unfused: shares are materialized
         meter.free_arrays(seeds, ts)
@@ -516,6 +531,7 @@ class LevelByLevel(Strategy):
         table_entries: int,
         entry_bytes: int = 8,
         prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> KernelPlan:
         n = self._depth(table_entries)
         leaves = 2**n
@@ -550,7 +566,9 @@ class LevelByLevel(Strategy):
         return KernelPlan(
             phases=phases,
             peak_mem_bytes=self.cost(batch_size, table_entries).peak_mem_bytes,
-            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+            **self._plan_common(
+                batch_size, table_entries, entry_bytes, prf_name, resident_keys
+            ),
         )
 
 
@@ -590,10 +608,16 @@ class MemoryBoundedTree(Strategy):
         active = _ceil_div(domain_size, 2**d)
         return k, d, active
 
-    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+    def _eval(
+        self,
+        kb: KeyArena,
+        prf: Prf,
+        meter: MemoryMeter,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> np.ndarray:
         b, domain = kb.batch, kb.domain_size
         k, d, active = self._split(domain)
-        seeds, ts = self._expand_to_level(kb, prf, meter, k)
+        seeds, ts = self._expand_to_level(kb, prf, meter, k, workspace)
         if active < seeds.shape[1]:
             lane_seeds = seeds[:, :active].copy()
             lane_ts = ts[:, :active].copy()
@@ -668,6 +692,7 @@ class MemoryBoundedTree(Strategy):
         table_entries: int,
         entry_bytes: int = 8,
         prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> KernelPlan:
         k, d, active = self._split(table_entries)
         lanes = batch_size * active
@@ -704,7 +729,9 @@ class MemoryBoundedTree(Strategy):
         return KernelPlan(
             phases=phases,
             peak_mem_bytes=peak,
-            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+            **self._plan_common(
+                batch_size, table_entries, entry_bytes, prf_name, resident_keys
+            ),
         )
 
 
@@ -744,22 +771,34 @@ class CooperativeGroups(Strategy):
         active = _ceil_div(domain_size, 2**t)
         return m, t, active
 
-    def _eval(self, kb: _KeyBatch, prf: Prf, meter: MemoryMeter) -> np.ndarray:
+    def _eval(
+        self,
+        kb: KeyArena,
+        prf: Prf,
+        meter: MemoryMeter,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> np.ndarray:
         b, domain = kb.batch, kb.domain_size
         m, t, active = self._split(domain)
-        frontier_seeds, frontier_ts = self._expand_to_level(kb, prf, meter, m)
+        frontier_seeds, frontier_ts = self._expand_to_level(kb, prf, meter, m, workspace)
         out = np.empty((b, active * 2**t), dtype=np.uint64)
         # Double-buffered tile expansion: the same two buffer pairs are
-        # reused for every tile and every level within a tile.
+        # reused for every tile and every level within a tile.  The
+        # "tile" workspace slot is distinct from the "frontier" slot the
+        # expansion above used, because the frontier views stay live
+        # across the whole tile loop.
         tile_cap = 2**t
-        tile_seeds = (
-            np.empty((b, tile_cap, 16), dtype=np.uint8),
-            np.empty((b, tile_cap, 16), dtype=np.uint8),
-        )
-        tile_ts = (
-            np.empty((b, tile_cap), dtype=np.uint8),
-            np.empty((b, tile_cap), dtype=np.uint8),
-        )
+        if workspace is not None:
+            tile_seeds, tile_ts = workspace.frontier_pair("tile", b, tile_cap)
+        else:
+            tile_seeds = (
+                np.empty((b, tile_cap, 16), dtype=np.uint8),
+                np.empty((b, tile_cap, 16), dtype=np.uint8),
+            )
+            tile_ts = (
+                np.empty((b, tile_cap), dtype=np.uint8),
+                np.empty((b, tile_cap), dtype=np.uint8),
+            )
         for tile in range(active):
             seeds = tile_seeds[0][:, :1]
             ts = tile_ts[0][:, :1]
@@ -772,6 +811,9 @@ class CooperativeGroups(Strategy):
                 width = 2 << j
                 new_seeds = tile_seeds[side][:, :width]
                 new_ts = tile_ts[side][:, :width]
+                stage = None
+                if workspace is not None:
+                    stage = workspace.stage("tile", b * (width >> 1))
                 _expand_level_batch(
                     prf,
                     seeds,
@@ -780,6 +822,7 @@ class CooperativeGroups(Strategy):
                     kb.cw_t_left[:, level],
                     kb.cw_t_right[:, level],
                     out=(new_seeds, new_ts),
+                    stage=stage,
                 )
                 meter.alloc_arrays(new_seeds, new_ts)
                 meter.free_arrays(seeds, ts)
@@ -811,6 +854,7 @@ class CooperativeGroups(Strategy):
         table_entries: int,
         entry_bytes: int = 8,
         prf_name: str = "aes128",
+        resident_keys: bool = False,
     ) -> KernelPlan:
         m, t, active = self._split(table_entries)
         tile = 2**t
@@ -849,5 +893,7 @@ class CooperativeGroups(Strategy):
         return KernelPlan(
             phases=phases,
             peak_mem_bytes=peak,
-            **self._plan_common(batch_size, table_entries, entry_bytes, prf_name),
+            **self._plan_common(
+                batch_size, table_entries, entry_bytes, prf_name, resident_keys
+            ),
         )

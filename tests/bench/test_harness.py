@@ -14,7 +14,13 @@ from repro.bench import (
     smoke_grid,
     write_results,
 )
-from repro.bench.harness import REFERENCE, SCHEMA_VERSION, _reference_blocks
+from repro.bench.harness import (
+    INGEST,
+    INGEST_MODES,
+    REFERENCE,
+    SCHEMA_VERSION,
+    _reference_blocks,
+)
 from repro.gpu import available_strategies
 
 
@@ -41,6 +47,49 @@ class TestGrids:
             for c in cases
         )
 
+    def test_default_grid_covers_every_ingest_mode(self):
+        cases = default_grid()
+        modes = {c.ingest for c in cases}
+        assert set(INGEST_MODES) <= modes
+        # Ingestion micro-cases exist at batch >= 64 in both paths.
+        assert any(
+            c.strategy == INGEST and c.batch >= 64 and c.ingest == "wire"
+            for c in cases
+        )
+        assert any(
+            c.strategy == INGEST and c.batch >= 64 and c.ingest == "objects"
+            for c in cases
+        )
+        # Every arena case has a same-shape objects twin to compare to.
+        base = {
+            (c.prf, c.strategy, c.batch, c.log_domain)
+            for c in cases
+            if c.ingest == "objects"
+        }
+        for case in cases:
+            if case.ingest != "objects":
+                assert (case.prf, case.strategy, case.batch, case.log_domain) in base
+
+    def test_default_grid_honors_axis_restrictions(self):
+        cases = default_grid(prfs=["chacha20"], strategies=["memory_bounded"])
+        assert cases
+        assert all(c.prf == "chacha20" for c in cases)
+        assert all(c.strategy == "memory_bounded" for c in cases)
+        ingest_only = default_grid(prfs=["aes128"], strategies=[INGEST])
+        assert ingest_only
+        assert all(c.strategy == INGEST for c in ingest_only)
+        # An explicit ingest request without aes128 runs on the
+        # requested PRF rather than silently producing no cases.
+        chacha_ingest = default_grid(prfs=["chacha20"], strategies=[INGEST])
+        assert chacha_ingest
+        assert all(c.prf == "chacha20" for c in chacha_ingest)
+
+    def test_smoke_grid_covers_ingest_modes(self):
+        cases = smoke_grid()
+        assert any(c.ingest == "wire" and c.strategy != INGEST for c in cases)
+        assert any(c.ingest == "arena" for c in cases)
+        assert any(c.strategy == INGEST for c in cases)
+
 
 class TestRunCase:
     def test_strategy_case_measures_and_verifies(self):
@@ -56,6 +105,45 @@ class TestRunCase:
             result.seconds * 1e9 / result.prf_blocks
         )
 
+    @pytest.mark.parametrize("mode", ("wire", "arena"))
+    def test_ingest_mode_eval_cases_measure_and_verify(self, mode):
+        case = BenchCase(
+            "chacha20", "memory_bounded", 2, 6, ingest=mode, repeats=1, warmup=0
+        )
+        result = run_case(case)
+        assert result.ingest == mode
+        assert result.qps > 0 and result.verified
+        # The peak is metered on the actual ingest path, not a proxy.
+        objects = run_case(
+            BenchCase("chacha20", "memory_bounded", 2, 6, repeats=1, warmup=0)
+        )
+        assert result.peak_mem_bytes == objects.peak_mem_bytes > 0
+
+    def test_ingest_micro_case(self):
+        case = BenchCase("siphash", INGEST, 8, 6, ingest="wire", repeats=1, warmup=0)
+        result = run_case(case)
+        assert result.strategy == INGEST
+        assert result.prf_blocks == 0 and result.ns_per_prf_block == 0.0
+        assert result.qps > 0 and result.verified
+        objects = run_case(
+            BenchCase("siphash", INGEST, 8, 6, ingest="objects", repeats=1, warmup=0)
+        )
+        assert objects.qps > 0
+
+    def test_ingest_micro_rejects_arena_mode(self):
+        with pytest.raises(ValueError, match="'wire' or 'objects'"):
+            run_case(BenchCase("siphash", INGEST, 2, 4, ingest="arena", repeats=1))
+
+    def test_reference_rejects_arena_modes(self):
+        with pytest.raises(ValueError, match="no arena ingestion"):
+            run_case(BenchCase("siphash", REFERENCE, 1, 4, ingest="wire", repeats=1))
+
+    def test_unknown_ingest_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingest mode"):
+            run_case(
+                BenchCase("siphash", "memory_bounded", 1, 4, ingest="bogus", repeats=1)
+            )
+
     def test_reference_case(self):
         case = BenchCase("siphash", REFERENCE, 1, 5, repeats=1, warmup=0)
         result = run_case(case)
@@ -65,8 +153,8 @@ class TestRunCase:
     def test_verification_catches_divergence(self, monkeypatch):
         from repro.gpu.strategies import LevelByLevel
 
-        def broken_eval(self, kb, prf, meter):
-            good = LevelByLevel._eval_orig(self, kb, prf, meter)
+        def broken_eval(self, kb, prf, meter, workspace=None):
+            good = LevelByLevel._eval_orig(self, kb, prf, meter, workspace)
             return good + np.uint64(1)
 
         monkeypatch.setattr(

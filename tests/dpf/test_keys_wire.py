@@ -1,0 +1,179 @@
+"""Wire-format arithmetic, malformed-input handling, and batch framing.
+
+Three claims: ``DpfKey.size_bytes`` is pure arithmetic that always
+matches the serializer; ``from_bytes`` rejects every malformed buffer
+with a ``ValueError`` (never an exception from deep inside numpy or a
+dataclass validator); and the batched ``pack_keys`` / ``split_wire`` /
+``unpack_keys`` framing round-trips exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import available_prfs, get_prf
+from repro.dpf import (
+    DpfKey,
+    gen,
+    key_size_bytes,
+    pack_keys,
+    split_wire,
+    unpack_keys,
+    wire_size,
+)
+
+from tests.strategies import STANDARD_SETTINGS, dpf_cases
+
+DOMAINS = [1, 2, 3, 5, 37, 256, 1000, 1 << 13]
+
+
+def _key(domain, prf_name="chacha20", seed=0, party=0):
+    prf = get_prf(prf_name)
+    rng = np.random.default_rng(seed)
+    pair = gen(domain // 2, domain, prf, rng)
+    return pair[party], prf
+
+
+class TestSizeBytes:
+    @pytest.mark.parametrize("prf_name", available_prfs())
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_size_bytes_matches_serialization(self, prf_name, domain):
+        """The satellite claim: arithmetic size == serialized length."""
+        key, _ = _key(domain, prf_name)
+        assert key.size_bytes == len(key.to_bytes())
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_key_size_bytes_agrees(self, domain):
+        key, prf = _key(domain)
+        assert key_size_bytes(domain, prf.name) == key.size_bytes
+
+    def test_wire_size_rejects_negative_depth(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            wire_size(-1)
+
+
+class TestFromBytesValidation:
+    def test_every_truncation_raises_value_error(self):
+        key, _ = _key(100)
+        data = key.to_bytes()
+        for cut in range(len(data)):
+            with pytest.raises(ValueError):
+                DpfKey.from_bytes(data[:cut])
+
+    def test_trailing_bytes_raise_value_error(self):
+        key, _ = _key(64)
+        with pytest.raises(ValueError, match="bytes"):
+            DpfKey.from_bytes(key.to_bytes() + b"\x00")
+
+    def test_bad_magic_raises_value_error(self):
+        key, _ = _key(64)
+        data = bytearray(key.to_bytes())
+        data[:4] = b"NOPE"
+        with pytest.raises(ValueError, match="magic"):
+            DpfKey.from_bytes(bytes(data))
+
+    def test_inconsistent_domain_rejected_at_parse(self):
+        """A corrupted domain_size header must fail at the parse
+        boundary, not as an IndexError inside evaluation."""
+        key, _ = _key(64)
+        data = bytearray(key.to_bytes())
+        data[6 + 2] ^= 0x10  # bump domain_size far beyond 2**log_domain
+        with pytest.raises(ValueError, match="inconsistent"):
+            DpfKey.from_bytes(bytes(data))
+
+    def test_zero_domain_rejected_at_parse(self):
+        key, _ = _key(1)
+        data = bytearray(key.to_bytes())
+        data[6:10] = (0).to_bytes(4, "little")
+        with pytest.raises(ValueError, match="inconsistent"):
+            DpfKey.from_bytes(bytes(data))
+
+    def test_truncation_message_is_clear(self):
+        """Mid-correction-word truncation fails at the length check, not
+        inside np.frombuffer or CorrectionWord.__post_init__."""
+        key, _ = _key(1000)
+        data = key.to_bytes()
+        with pytest.raises(ValueError, match="must be exactly"):
+            DpfKey.from_bytes(data[: len(data) - 9])
+
+    @given(case=dpf_cases(max_domain=64), cut=st.integers(0, 10_000))
+    @STANDARD_SETTINGS
+    def test_fuzz_truncations(self, case, cut):
+        (key, _), _ = case.keys()
+        data = key.to_bytes()
+        cut %= len(data)
+        with pytest.raises(ValueError):
+            DpfKey.from_bytes(data[:cut])
+
+    @given(case=dpf_cases(max_domain=64), bit=st.integers(0, 1 << 20))
+    @STANDARD_SETTINGS
+    def test_fuzz_bit_flips_never_escape_value_error(self, case, bit):
+        """A flipped bit either still parses (e.g. inside a seed) or
+        raises ValueError — never an unrelated exception type."""
+        (key, _), _ = case.keys()
+        data = bytearray(key.to_bytes())
+        bit %= len(data) * 8
+        data[bit // 8] ^= 1 << (bit % 8)
+        try:
+            parsed = DpfKey.from_bytes(bytes(data))
+        except ValueError:
+            return
+        # Anything that parses (a flip in a seed, say) must yield a
+        # well-formed key whose own serialization round-trips; unused
+        # high bits of a control-bit byte are dropped by design.
+        assert DpfKey.from_bytes(parsed.to_bytes()).to_bytes() == parsed.to_bytes()
+
+    @given(case=dpf_cases(max_domain=64), magic=st.binary(min_size=4, max_size=4))
+    @STANDARD_SETTINGS
+    def test_fuzz_bad_magic(self, case, magic):
+        (key, _), _ = case.keys()
+        data = key.to_bytes()
+        if magic == data[:4]:
+            return
+        with pytest.raises(ValueError, match="magic"):
+            DpfKey.from_bytes(magic + data[4:])
+
+
+class TestBatchFraming:
+    def test_pack_unpack_round_trip(self):
+        prf = get_prf("siphash")
+        rng = np.random.default_rng(3)
+        keys = []
+        for i in range(7):
+            k0, k1 = gen(i % 100, 100, prf, rng, beta=i + 1)
+            keys.append(k0 if i % 2 else k1)
+        restored = unpack_keys(pack_keys(keys))
+        assert [k.to_bytes() for k in restored] == [k.to_bytes() for k in keys]
+
+    def test_split_wire_framing(self):
+        key, _ = _key(64)
+        wire = pack_keys([key, key, key])
+        records = split_wire(wire)
+        assert len(records) == 3
+        assert all(r == key.to_bytes() for r in records)
+
+    def test_split_wire_handles_heterogeneous_records(self):
+        a, _ = _key(64, "chacha20")
+        b, _ = _key(1000, "siphash")
+        records = split_wire(a.to_bytes() + b.to_bytes())
+        assert [len(r) for r in records] == [a.size_bytes, b.size_bytes]
+
+    def test_split_wire_rejects_truncation(self):
+        key, _ = _key(64)
+        wire = pack_keys([key, key])
+        with pytest.raises(ValueError, match="mid-record|mid-header"):
+            split_wire(wire[:-5])
+
+    def test_split_wire_rejects_bad_magic(self):
+        key, _ = _key(64)
+        with pytest.raises(ValueError, match="magic"):
+            split_wire(b"JUNK" + key.to_bytes()[4:])
+
+    def test_pack_keys_rejects_empty_and_mixed(self):
+        with pytest.raises(ValueError, match="at least one"):
+            pack_keys([])
+        a, _ = _key(64)
+        b, _ = _key(128)
+        with pytest.raises(ValueError, match="same domain"):
+            pack_keys([a, b])

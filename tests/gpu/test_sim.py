@@ -170,3 +170,67 @@ class TestMultiGpu:
         expected = np.stack([eval_full(k, prf) for k in keys])
         got = MultiGpuExecutor([V100, V100]).eval_batch(keys, prf)
         assert np.array_equal(got, expected)
+
+
+class TestResidentKeys:
+    """Serving from an already-uploaded key arena (host_bytes_in = 0)."""
+
+    def test_resident_plans_amortize_host_transfer(self):
+        from repro.dpf import key_size_bytes
+        from repro.gpu import available_strategies
+
+        batch, table = 512, MILLION
+        for name in available_strategies():
+            strategy = get_strategy(name)
+            plan = strategy.plan(batch, table)
+            resident = strategy.plan(batch, table, resident_keys=True)
+            assert plan.host_bytes_in == batch * key_size_bytes(table)
+            assert not plan.resident_keys and plan.resident_bytes == 0
+            assert resident.host_bytes_in == 0
+            assert resident.resident_keys
+            assert resident.resident_bytes == batch * key_size_bytes(table)
+            # Nothing else about the recipe changes.
+            assert resident.phases == plan.phases
+            assert resident.peak_mem_bytes == plan.peak_mem_bytes
+
+    def test_resident_arena_counts_against_capacity(self):
+        strategy = get_strategy("memory_bounded")
+        plan = strategy.plan(512, MILLION)
+        resident = strategy.plan(512, MILLION, resident_keys=True)
+        sim = GpuSimulator(V100)
+        assert (
+            sim.free_mem_bytes(resident)
+            == sim.free_mem_bytes(plan) - resident.resident_bytes
+        )
+
+    def test_resident_qps_strictly_higher_when_pcie_on_critical_path(self):
+        """Every feasible shape with a nonzero key upload must simulate
+        strictly faster once the upload is amortized away."""
+        sim = GpuSimulator(V100)
+        for name in ("memory_bounded", "level_by_level", "branch_parallel"):
+            for batch, table in ((64, 1 << 14), (512, MILLION)):
+                strategy = get_strategy(name)
+                base = sim.simulate(strategy.plan(batch, table))
+                resident = sim.simulate(
+                    strategy.plan(batch, table, resident_keys=True)
+                )
+                assert resident.throughput_qps > base.throughput_qps, (name, batch)
+                assert resident.latency_s < base.latency_s
+
+    def test_scheduler_caches_resident_mode_separately(self):
+        scheduler = Scheduler(V100)
+        base = scheduler.select(512, MILLION)
+        resident = scheduler.select(512, MILLION, resident_keys=True)
+        assert base is not resident
+        assert resident is scheduler.select(512, MILLION, resident_keys=True)
+        assert resident.plan.host_bytes_in == 0
+        assert resident.stats.throughput_qps > base.stats.throughput_qps
+
+    def test_multigpu_resident_serving_is_faster(self):
+        executor = MultiGpuExecutor([V100, V100])
+        base = executor.execute(1024, MILLION)
+        resident = executor.execute(1024, MILLION, resident_keys=True)
+        assert resident.throughput_qps > base.throughput_qps
+        assert all(
+            s.selection.plan.host_bytes_in == 0 for s in resident.shards
+        )

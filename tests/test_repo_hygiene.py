@@ -1,0 +1,46 @@
+"""Repository hygiene guards.
+
+Bytecode caches were once committed by accident; this guard fails the
+suite (and therefore CI) if any ``__pycache__`` directory or compiled
+``.pyc``/``.pyo`` file is ever tracked by git again, and checks the
+ignore rules that prevent it.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    result = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout.splitlines()
+
+
+def test_no_tracked_bytecode():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, (
+        f"compiled bytecode is tracked by git: {offenders}; "
+        "run `git rm -r --cached` on them and keep .gitignore intact"
+    )
+
+
+def test_gitignore_excludes_bytecode():
+    gitignore = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in gitignore
+    assert "*.pyc" in gitignore
