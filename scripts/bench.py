@@ -5,6 +5,14 @@ Usage:
     PYTHONPATH=src python scripts/bench.py                # full grid
     PYTHONPATH=src python scripts/bench.py --smoke        # CI smoke grid
     PYTHONPATH=src python scripts/bench.py --prfs aes128 --log-domains 16
+    PYTHONPATH=src python scripts/bench.py --list         # show the grid, run nothing
+    PYTHONPATH=src python scripts/bench.py --filter pir_roundtrip
+
+``--filter`` keeps only the cases whose one-line description contains
+the given substring (case-insensitive; repeatable — a case runs if any
+filter matches), which is how you iterate locally without paying for
+the full 100+-case grid.  ``--list`` prints the selected cases and
+exits without running anything.
 
 The emitted JSON (schema in ``repro.bench.harness``) is the perf
 trajectory every future optimisation PR is compared against.
@@ -24,7 +32,7 @@ from repro.bench import (  # noqa: E402  (path bootstrap above)
     smoke_grid,
     write_results,
 )
-from repro.bench.harness import INGEST, REFERENCE  # noqa: E402
+from repro.bench.harness import INGEST, PIR_ROUNDTRIP, REFERENCE  # noqa: E402
 from repro.crypto import available_prfs  # noqa: E402
 from repro.gpu import available_strategies  # noqa: E402
 
@@ -39,7 +47,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--strategies",
         nargs="+",
-        choices=[REFERENCE, INGEST, *available_strategies()],
+        choices=[REFERENCE, INGEST, PIR_ROUNDTRIP, *available_strategies()],
         help="restrict the strategy axis",
     )
     parser.add_argument("--batches", nargs="+", type=int, help="batch sizes")
@@ -47,6 +55,18 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         "--log-domains", nargs="+", type=int, help="table size exponents"
     )
     parser.add_argument("--repeats", type=int, default=3, help="timed reps per case")
+    parser.add_argument(
+        "--filter",
+        action="append",
+        metavar="SUBSTRING",
+        help="run only cases whose description contains SUBSTRING "
+        "(case-insensitive; repeatable, any match keeps the case)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the selected cases and exit without running",
+    )
     parser.add_argument(
         "--no-verify",
         action="store_true",
@@ -56,8 +76,8 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _parse_args(argv)
+def select_cases(args: argparse.Namespace) -> list:
+    """The case grid after axis restrictions and --filter."""
     if args.smoke:
         cases = smoke_grid()
     else:
@@ -71,6 +91,28 @@ def main(argv: list[str] | None = None) -> int:
         if args.log_domains:
             kwargs["log_domains"] = args.log_domains
         cases = default_grid(repeats=args.repeats, **kwargs)
+    if args.filter:
+        needles = [f.lower() for f in args.filter]
+        cases = [
+            case
+            for case in cases
+            if any(needle in case.describe().lower() for needle in needles)
+        ]
+    return cases
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    cases = select_cases(args)
+
+    if args.list:
+        for case in cases:
+            print(case.describe())
+        print(f"{len(cases)} cases selected")
+        return 0
+    if not cases:
+        print("no cases match the given filters", file=sys.stderr)
+        return 1
 
     progress = None if args.quiet else lambda line: print(f"  {line}", flush=True)
     print(f"running {len(cases)} benchmark cases -> {args.out}")

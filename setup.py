@@ -1,12 +1,23 @@
 """Legacy setup shim so `pip install -e .` works on older setuptools."""
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
 setup(
     name="repro",
     version="1.0.0",
     package_dir={"": "src"},
-    packages=find_packages(where="src"),
+    # Declared explicitly (rather than find_packages) so a subpackage
+    # missing from a wheel is a loud diff here, and so the import smoke
+    # test (tests/test_imports.py) and this list stay in lockstep.
+    packages=[
+        "repro",
+        "repro.bench",
+        "repro.crypto",
+        "repro.dpf",
+        "repro.exec",
+        "repro.gpu",
+        "repro.pir",
+    ],
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
     extras_require={

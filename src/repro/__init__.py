@@ -10,11 +10,21 @@ Layers, bottom to top:
 * :mod:`repro.gpu` — the paper's acceleration story: parallelization
   strategies, a calibrated V100 performance model, batch/table-aware
   strategy scheduling, and multi-GPU sharding.
+* :mod:`repro.exec` — the unified execution layer: one request-oriented
+  :class:`~repro.exec.ExecutionBackend` protocol over the substrate
+  (single-GPU, multi-GPU, simulated oracle).
+* :mod:`repro.pir` — the end-to-end two-server PIR pipeline: client
+  query generation, wire framing, and table serving through any
+  execution backend.
 * :mod:`repro.bench` — the wall-clock benchmark harness behind
-  ``BENCH_dpf.json`` (QPS, ns per PRF block, peak metered bytes).
+  ``BENCH_dpf.json`` (QPS, ns per PRF block, peak metered bytes,
+  PIR round-trip latency).
+
+See ``docs/architecture.md`` for the layer diagram and a PIR
+quickstart.
 """
 
-from repro import bench, crypto, dpf, gpu
+from repro import bench, crypto, dpf, exec, gpu, pir
 
 __version__ = "1.0.0"
 
@@ -22,5 +32,7 @@ __all__ = [
     "bench",
     "crypto",
     "dpf",
+    "exec",
     "gpu",
+    "pir",
 ]

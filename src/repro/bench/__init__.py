@@ -6,14 +6,17 @@ PRF x strategy x batch x log-domain x ingest-mode grid (how the keys
 arrive: per-call object stacking, wire-bytes parsing, or a persistent
 key arena), reported as queries per second, nanoseconds per PRF block,
 and peak metered bytes, and emitted as ``BENCH_dpf.json`` so the
-trajectory is diffable across commits.
+trajectory is diffable across commits.  Schema 4 adds the
+``pir_roundtrip`` family: the end-to-end two-server pipeline timed over
+the same ingest-mode axis.
 
 ``scripts/bench.py`` is the CLI front end; ``--smoke`` runs the small
-CI grid.
+CI grid, ``--list``/``--filter`` inspect and subset the case grid.
 """
 
 from repro.bench.harness import (
     INGEST_MODES,
+    PIR_ROUNDTRIP,
     BenchCase,
     BenchResult,
     default_grid,
@@ -28,6 +31,7 @@ __all__ = [
     "BenchCase",
     "BenchResult",
     "INGEST_MODES",
+    "PIR_ROUNDTRIP",
     "default_grid",
     "smoke_grid",
     "run_case",

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.crypto import available_prfs, get_prf
 from repro.dpf import eval_full, gen, pack_keys, unpack_keys
+from repro.exec import SingleGpuBackend
 from repro.gpu import (
     ExpansionWorkspace,
     KeyArena,
@@ -40,6 +41,7 @@ from repro.gpu import (
     available_strategies,
     get_strategy,
 )
+from repro.pir import PirClient, PirServer
 
 REFERENCE = "reference"
 """Pseudo-strategy name for the reference ``dpf.eval_full`` walk."""
@@ -56,6 +58,25 @@ selects the path: ``"wire"`` is the vectorized
 arena would run.
 """
 
+PIR_ROUNDTRIP = "pir_roundtrip"
+"""Pseudo-strategy name for the end-to-end two-server PIR round trip.
+
+A ``pir_roundtrip`` case times the full pipeline — client query
+generation, wire framing, both servers' full-domain evaluation and
+table dot product, and answer reconstruction — against two
+:class:`~repro.pir.PirServer` instances on a
+:class:`~repro.exec.SingleGpuBackend`; ``qps`` means *retrieved
+entries* per second.  The ``ingest`` axis selects the serving path:
+
+* ``"objects"`` — key objects handed to ``answer_shares`` (keys are
+  generated outside the timed region, so this isolates server-side
+  evaluation plus combine).
+* ``"wire"`` — the full framed protocol including client key
+  generation, ``pack_keys``, and frame parse on every iteration.
+* ``"arena"`` — the framed protocol against resident-keys servers
+  (the residency hint flows through the backend's planner).
+"""
+
 INGEST_MODES = ("objects", "wire", "arena")
 """How ``eval_batch`` receives its keys at each grid point.
 
@@ -68,7 +89,7 @@ INGEST_MODES = ("objects", "wire", "arena")
   work is evaluation only.
 """
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -98,6 +119,14 @@ class BenchCase:
     @property
     def domain_size(self) -> int:
         return 1 << self.log_domain
+
+    def describe(self) -> str:
+        """The aligned one-line label used for progress, --list and
+        --filter matching."""
+        return (
+            f"{self.prf:12s} {self.strategy:18s} {self.ingest:8s} "
+            f"B={self.batch:<3d} L=2^{self.log_domain}"
+        )
 
 
 @dataclass(frozen=True)
@@ -189,19 +218,65 @@ def _run_ingest_case(case: BenchCase, keys: list, verify: bool) -> BenchResult:
     return _result(case, _time_work(case, work), 0, 0, verified)
 
 
+def _run_pir_case(case: BenchCase, verify: bool) -> BenchResult:
+    """Time the end-to-end two-server round trip; see :data:`PIR_ROUNDTRIP`."""
+    rng = np.random.default_rng(11)
+    table = rng.integers(0, 1 << 64, size=case.domain_size, dtype=np.uint64)
+    resident = case.ingest == "arena"
+    servers = [
+        PirServer(table, backend=SingleGpuBackend(), prf_name=case.prf, resident=resident)
+        for _ in range(2)
+    ]
+    client = PirClient(case.domain_size, case.prf, rng=np.random.default_rng(13))
+    indices = rng.integers(0, case.domain_size, size=case.batch).tolist()
+
+    if case.ingest == "objects":
+        keys_0, keys_1 = client.generate_keys(indices)
+
+        def work() -> np.ndarray:
+            return (
+                servers[0].answer_shares(keys_0) + servers[1].answer_shares(keys_1)
+            ).astype(np.uint64)
+
+    elif case.ingest in ("wire", "arena"):
+
+        def work() -> np.ndarray:
+            batch = client.query(indices)
+            return client.reconstruct(
+                batch,
+                servers[0].handle(batch.requests[0]),
+                servers[1].handle(batch.requests[1]),
+            )
+
+    else:
+        raise ValueError(f"unknown ingest mode {case.ingest!r}; use {INGEST_MODES}")
+
+    verified = False
+    if verify:
+        if not np.array_equal(work(), table[np.array(indices)]):
+            raise ValueError(f"PIR round trip diverged from the table for {case}")
+        verified = True
+    return _result(case, _time_work(case, work), 0, 0, verified)
+
+
 def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
     """Execute one grid point and return its measurements.
 
     Args:
         case: The grid point.
         verify: Assert the evaluated shares are bit-identical to the
-            reference evaluator (or, for ingest cases, that the two
-            ingestion paths produce identical arenas) before timing.
+            reference evaluator (for ingest cases, that the two
+            ingestion paths produce identical arenas; for PIR round
+            trips, that the reconstructed values equal the table rows)
+            before timing.
 
     Raises:
         ValueError: If verification fails — the numbers would be
             meaningless.
     """
+    if case.strategy == PIR_ROUNDTRIP:
+        return _run_pir_case(case, verify)
+
     prf = get_prf(case.prf)
     keys = _make_keys(case)
 
@@ -268,10 +343,7 @@ def run_grid(
     results = []
     for case in cases:
         if progress is not None:
-            progress(
-                f"{case.prf:12s} {case.strategy:18s} {case.ingest:8s} "
-                f"B={case.batch:<3d} L=2^{case.log_domain}"
-            )
+            progress(case.describe())
         results.append(run_case(case, verify=verify))
     return results
 
@@ -301,11 +373,16 @@ def default_grid(
     * :data:`INGEST` micro-cases at batch 64 and 256 time wire->arena
       ingestion against the per-key ``from_bytes`` loop — the server's
       cost of *receiving* a batch, separated from evaluating it.
+    * :data:`PIR_ROUNDTRIP` cases time the end-to-end two-server
+      pipeline at the small and large table sizes, across the
+      objects/wire/arena serving paths.
     """
     prfs = list(prfs) if prfs is not None else available_prfs()
-    # The INGEST micro-cases ride along by default but honor an explicit
-    # strategy restriction (INGEST itself never enters the eval product).
+    # The INGEST micro-cases and PIR round trips ride along by default
+    # but honor an explicit strategy restriction (neither pseudo-strategy
+    # ever enters the eval product).
     include_ingest = bool(prfs) and (strategies is None or INGEST in strategies)
+    include_pir = bool(prfs) and (strategies is None or PIR_ROUNDTRIP in strategies)
     ingest_prf = "aes128" if "aes128" in prfs else (prfs[0] if prfs else "aes128")
     strategies = [
         s
@@ -314,7 +391,7 @@ def default_grid(
             if strategies is not None
             else [REFERENCE, *available_strategies()]
         )
-        if s != INGEST
+        if s not in (INGEST, PIR_ROUNDTRIP)
     ]
     cases = []
     for prf in prfs:
@@ -360,13 +437,36 @@ def default_grid(
                             repeats=repeats,
                         )
                     )
+    if include_pir:
+        # Small table: all three serving paths at one shape.  Large
+        # table: the framed hot path against its objects twin.
+        log_lo, log_hi = min(log_domains), max(log_domains)
+        for mode in ("objects", "wire", "arena"):
+            cases.append(
+                BenchCase(
+                    ingest_prf, PIR_ROUNDTRIP, 4, log_lo, ingest=mode, repeats=repeats
+                )
+            )
+        if log_hi != log_lo:
+            for mode in ("objects", "wire"):
+                cases.append(
+                    BenchCase(
+                        ingest_prf,
+                        PIR_ROUNDTRIP,
+                        16,
+                        log_hi,
+                        ingest=mode,
+                        repeats=repeats,
+                    )
+                )
     return cases
 
 
 def smoke_grid() -> list[BenchCase]:
     """A seconds-long grid for CI: every strategy once, two PRFs,
-    plus one wire-ingest eval, one persistent-arena eval, and one
-    ingestion micro-case so every ingest mode stays exercised."""
+    plus one wire-ingest eval, one persistent-arena eval, one ingestion
+    micro-case, and the end-to-end PIR round trip on every serving path
+    so every ingest mode and the pipeline itself stay exercised."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
@@ -375,6 +475,10 @@ def smoke_grid() -> list[BenchCase]:
         BenchCase("aes128", INGEST, 64, 8, ingest="wire", repeats=1, warmup=0),
         BenchCase("aes128", INGEST, 64, 8, ingest="objects", repeats=1, warmup=0),
     ]
+    for mode in ("objects", "wire", "arena"):
+        cases.append(
+            BenchCase("chacha20", PIR_ROUNDTRIP, 2, 6, ingest=mode, repeats=1, warmup=0)
+        )
     for strategy in available_strategies():
         cases.append(BenchCase("siphash", strategy, 1, 8, repeats=1, warmup=0))
     return cases

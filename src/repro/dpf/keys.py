@@ -222,20 +222,37 @@ def split_wire(data: bytes) -> list[bytes]:
     heterogeneous keys also frames correctly; :func:`pack_keys` output
     is the homogeneous special case.
 
+    Every header is semantically validated (magic, party, domain/depth
+    consistency) *before* its record length is trusted, so trailing
+    garbage after the last well-formed record cannot frame as an extra
+    record — it fails here rather than surviving until (or past) the
+    per-key parse.
+
     Raises:
-        ValueError: On bad magic or a buffer that ends mid-record.
+        ValueError: On bad magic, an invalid or inconsistent header, or
+            a buffer that ends mid-record.
     """
     records = []
     offset = 0
     view = memoryview(data)
     while offset < len(data):
         if len(data) - offset < HEADER_BYTES:
-            raise ValueError("wire buffer ends mid-header")
-        magic, _, log_domain, _, _, prf_len = struct.unpack_from(
+            raise ValueError(
+                f"wire buffer ends mid-header: {len(data) - offset} "
+                f"trailing bytes at offset {offset}"
+            )
+        magic, party, log_domain, domain_size, _, prf_len = struct.unpack_from(
             _HEADER_FMT, data, offset
         )
         if magic != _MAGIC:
             raise ValueError(f"bad DPF key magic {magic!r} at offset {offset}")
+        if party not in (0, 1):
+            raise ValueError(f"party must be 0 or 1, got {party} at offset {offset}")
+        if domain_size <= 0 or log2_ceil(domain_size) != log_domain:
+            raise ValueError(
+                f"domain_size {domain_size} is inconsistent with tree "
+                f"depth {log_domain} at offset {offset}"
+            )
         record = _record_size(log_domain, prf_len)
         if offset + record > len(data):
             raise ValueError(

@@ -1,0 +1,264 @@
+"""Concrete execution backends behind one request-oriented protocol.
+
+An :class:`ExecutionBackend` answers two questions about an
+:class:`~repro.exec.request.EvalRequest`: *what would running it look
+like* (:meth:`~ExecutionBackend.plan` — strategy selection plus modeled
+timing) and *what are the answers* (:meth:`~ExecutionBackend.run` —
+the functional ``(B, L)`` share matrix plus the plan and merged cost).
+Three adapters reuse the existing substrate rather than duplicating it:
+
+* :class:`SingleGpuBackend` — one device; scheduler-selected strategy,
+  persistent :class:`~repro.gpu.arena.ExpansionWorkspace`.
+* :class:`MultiGpuBackend` — a fleet; wraps
+  :class:`~repro.gpu.multigpu.MultiGpuExecutor` (throughput-
+  proportional zero-copy sharding).
+* :class:`SimulatedBackend` — answers from the *reference* evaluator
+  (:func:`repro.dpf.dpf.eval_full`), timing from the performance model
+  only.  Slow but kernel-free: the oracle backend for end-to-end tests
+  and what-if pricing of devices that are not attached.
+
+All three produce bit-identical answers for the same keys; tests pin
+that across the object/wire ingestion forms and the streaming/resident
+modes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.crypto.prf import get_prf
+from repro.dpf.dpf import eval_full
+from repro.exec.request import EvalRequest, EvalResult, ExecutionPlan
+from repro.gpu.arena import ExpansionWorkspace
+from repro.gpu.device import DeviceSpec, V100
+from repro.gpu.multigpu import MultiGpuExecutor, MultiGpuStats, ShardReport
+from repro.gpu.scheduler import Scheduler, Selection
+from repro.gpu.strategies import StrategyCost, get_strategy
+
+
+def _single_shard_stats(
+    device: DeviceSpec, selection: Selection, batch_size: int, table_entries: int,
+    prf_name: str,
+) -> MultiGpuStats:
+    """One device's selection in the shared per-shard stats shape."""
+    latency = selection.stats.latency_s
+    return MultiGpuStats(
+        batch_size=batch_size,
+        table_entries=table_entries,
+        prf_name=prf_name,
+        latency_s=latency,
+        throughput_qps=batch_size / latency if latency > 0 else 0.0,
+        shards=(
+            ShardReport(
+                device_name=device.name, batch_size=batch_size, selection=selection
+            ),
+        ),
+    )
+
+
+def merged_cost(
+    stats: MultiGpuStats, strategies: dict | None = None
+) -> StrategyCost:
+    """Fold per-shard strategy costs into one batch-level cost.
+
+    ``prf_blocks`` and ``parallel_width`` sum over shards;
+    ``peak_mem_bytes`` is the fleet-wide footprint (each shard's peak
+    lives on its own device, concurrently).  ``strategy`` keeps the
+    shared name when every shard agrees and reports ``"mixed"``
+    otherwise.
+
+    Args:
+        stats: Per-shard selections to fold.
+        strategies: Name -> instance mapping of the candidate pool the
+            selections were made from; shards cost through *those*
+            instances (their tuning parameters matter).  ``None`` means
+            the registry defaults, which is what the selections used.
+    """
+    strategies = strategies if strategies is not None else {}
+    shard_costs = [
+        strategies.get(
+            shard.selection.strategy, get_strategy(shard.selection.strategy)
+        ).cost(shard.batch_size, stats.table_entries)
+        for shard in stats.shards
+    ]
+    names = {cost.strategy for cost in shard_costs}
+    return StrategyCost(
+        strategy=names.pop() if len(names) == 1 else "mixed",
+        batch_size=stats.batch_size,
+        domain_size=stats.table_entries,
+        prf_blocks=sum(cost.prf_blocks for cost in shard_costs),
+        peak_mem_bytes=sum(cost.peak_mem_bytes for cost in shard_costs),
+        parallel_width=sum(cost.parallel_width for cost in shard_costs),
+    )
+
+
+class ExecutionBackend(abc.ABC):
+    """The request-oriented execution protocol.
+
+    ``plan`` never touches key cryptography beyond ingestion metadata
+    (batch size, domain, PRF); ``run`` must return answers that are
+    bit-identical across backends for the same keys.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan(self, request: EvalRequest) -> ExecutionPlan:
+        """Price the request: strategy selection plus modeled timing."""
+
+    @abc.abstractmethod
+    def run(self, request: EvalRequest) -> EvalResult:
+        """Evaluate the request's keys over the full domain."""
+
+
+class SingleGpuBackend(ExecutionBackend):
+    """Scheduler-driven execution on one modeled device.
+
+    Args:
+        device: Target device model.
+        strategies: Candidate strategy pool shared across decisions
+            (default: every registered strategy, default parameters).
+    """
+
+    name = "single_gpu"
+
+    def __init__(self, device: DeviceSpec = V100, strategies: list | None = None):
+        self.device = device
+        self._strategies = strategies
+        # The selection names resolve back to the *pool's* instances
+        # (their tuning parameters were what the scheduler priced), not
+        # to fresh registry defaults.
+        self._by_name = (
+            {s.name: s for s in strategies} if strategies is not None else {}
+        )
+        self._schedulers: dict[int, Scheduler] = {}
+        self._workspace = ExpansionWorkspace()
+
+    def _scheduler(self, entry_bytes: int) -> Scheduler:
+        scheduler = self._schedulers.get(entry_bytes)
+        if scheduler is None:
+            scheduler = Scheduler(
+                self.device, entry_bytes=entry_bytes, strategies=self._strategies
+            )
+            self._schedulers[entry_bytes] = scheduler
+        return scheduler
+
+    def _select(self, request: EvalRequest) -> Selection:
+        arena = request.arena()
+        return self._scheduler(request.entry_bytes).select(
+            arena.batch,
+            arena.domain_size,
+            prf_name=request.resolved_prf_name,
+            resident_keys=request.resident,
+        )
+
+    def plan(self, request: EvalRequest) -> ExecutionPlan:
+        arena = request.arena()
+        selection = self._select(request)
+        return ExecutionPlan(
+            backend=self.name,
+            resident=request.resident,
+            stats=_single_shard_stats(
+                self.device,
+                selection,
+                arena.batch,
+                arena.domain_size,
+                request.resolved_prf_name,
+            ),
+        )
+
+    def run(self, request: EvalRequest) -> EvalResult:
+        plan = self.plan(request)
+        name = plan.strategies[0]
+        strategy = self._by_name.get(name) or get_strategy(name)
+        answers = strategy.eval_batch(
+            request.arena(),
+            get_prf(request.resolved_prf_name),
+            workspace=self._workspace,
+        )
+        return EvalResult(
+            answers=answers,
+            plan=plan,
+            cost=merged_cost(plan.stats, strategies=self._by_name),
+        )
+
+
+class MultiGpuBackend(ExecutionBackend):
+    """Sharded execution across a (possibly mixed) device fleet.
+
+    Args:
+        devices: One :class:`DeviceSpec` per GPU; pass the same spec N
+            times for a homogeneous N-GPU node.
+    """
+
+    name = "multi_gpu"
+
+    def __init__(self, devices: list[DeviceSpec] | DeviceSpec = V100):
+        if isinstance(devices, DeviceSpec):
+            devices = [devices]
+        if not devices:
+            raise ValueError("need at least one device")
+        self.devices = list(devices)
+        self._executors: dict[int, MultiGpuExecutor] = {}
+
+    def _executor(self, entry_bytes: int) -> MultiGpuExecutor:
+        executor = self._executors.get(entry_bytes)
+        if executor is None:
+            executor = MultiGpuExecutor(self.devices, entry_bytes=entry_bytes)
+            self._executors[entry_bytes] = executor
+        return executor
+
+    def plan(self, request: EvalRequest) -> ExecutionPlan:
+        arena = request.arena()
+        stats = self._executor(request.entry_bytes).execute(
+            arena.batch,
+            arena.domain_size,
+            prf_name=request.resolved_prf_name,
+            resident_keys=request.resident,
+        )
+        return ExecutionPlan(backend=self.name, resident=request.resident, stats=stats)
+
+    def run(self, request: EvalRequest) -> EvalResult:
+        plan = self.plan(request)
+        answers = self._executor(request.entry_bytes).eval_batch(
+            request.arena(),
+            get_prf(request.resolved_prf_name),
+            resident_keys=request.resident,
+        )
+        return EvalResult(answers=answers, plan=plan, cost=merged_cost(plan.stats))
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Model-only backend: reference answers, simulated timing.
+
+    ``run`` evaluates every key through the reference level-by-level
+    walk (:func:`repro.dpf.dpf.eval_full`) — a per-key Python loop, so
+    O(B) slower than the vectorized kernels but independent of them,
+    which is exactly what an end-to-end oracle wants.  ``plan`` prices
+    the request on the modeled device like :class:`SingleGpuBackend`,
+    so what-if pricing of unattached hardware still works.
+    """
+
+    name = "simulated"
+
+    def __init__(self, device: DeviceSpec = V100, strategies: list | None = None):
+        self.device = device
+        self._single = SingleGpuBackend(device, strategies=strategies)
+
+    def plan(self, request: EvalRequest) -> ExecutionPlan:
+        plan = self._single.plan(request)
+        return ExecutionPlan(backend=self.name, resident=plan.resident, stats=plan.stats)
+
+    def run(self, request: EvalRequest) -> EvalResult:
+        plan = self.plan(request)
+        prf = get_prf(request.resolved_prf_name)
+        answers = np.stack(
+            [eval_full(key, prf) for key in request.arena().to_keys()]
+        )
+        return EvalResult(
+            answers=answers,
+            plan=plan,
+            cost=merged_cost(plan.stats, strategies=self._single._by_name),
+        )

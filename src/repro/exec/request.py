@@ -1,0 +1,152 @@
+"""Request-oriented types shared by every execution backend.
+
+The execution substrate underneath (:mod:`repro.gpu`) grew four entry
+points with slightly different conventions — ``Strategy.eval_batch``,
+``Scheduler.select``, ``MultiGpuExecutor.execute`` and the raw
+``GpuSimulator``.  The :mod:`repro.exec` layer folds them behind one
+request/plan/result vocabulary:
+
+* :class:`EvalRequest` — what a caller wants evaluated: key material in
+  any accepted form (:data:`~repro.gpu.arena.KeySource`), the table
+  spec, and residency/SLO hints.
+* :class:`ExecutionPlan` — what a backend would do for the request and
+  what the performance model predicts for it, expressed as per-device
+  shards (a single-device backend emits one shard).
+* :class:`EvalResult` — the evaluated ``(B, L)`` share matrix plus the
+  plan it ran under and the merged functional cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.arena import KeyArena, KeySource
+from repro.gpu.multigpu import MultiGpuStats
+from repro.gpu.strategies import StrategyCost
+
+
+@dataclass
+class EvalRequest:
+    """One batch-evaluation request against a replicated table.
+
+    Attributes:
+        keys: Key material — an already-built :class:`KeyArena`, a
+            sequence of :class:`~repro.dpf.keys.DpfKey` objects, or
+            concatenated wire bytes (:func:`repro.dpf.keys.pack_keys`
+            output).  Ingestion happens once, on first use, through
+            :meth:`KeyArena.ingest`.
+        prf_name: PRF the evaluator must use.  ``None`` means "whatever
+            the keys were generated for"; a non-``None`` value that
+            mismatches the keys raises at ingestion.
+        entry_bytes: Bytes per table entry (the table spec the planner
+            prices MAC work and transfers against).
+        resident: Residency hint — plan and price the batch as served
+            from a key arena already uploaded to the device
+            (``host_bytes_in`` amortized to zero, arena charged against
+            device capacity).  Functional answers are bit-identical
+            either way.
+        slo_latency_s: Optional latency SLO; :meth:`ExecutionPlan
+            .meets_slo` reports whether the modeled latency honors it.
+    """
+
+    keys: KeySource
+    prf_name: str | None = None
+    entry_bytes: int = 8
+    resident: bool = False
+    slo_latency_s: float | None = None
+    _arena: KeyArena | None = field(default=None, repr=False, compare=False)
+
+    def arena(self) -> KeyArena:
+        """The request's keys as a :class:`KeyArena`, ingested once.
+
+        Repeated calls (``plan`` then ``run``, or several backends
+        planning the same request) reuse the first ingestion — the wire
+        parse or object stacking is never repeated.
+        """
+        if self._arena is None:
+            self._arena = KeyArena.ingest(self.keys, prf_name=self.prf_name)
+        return self._arena
+
+    @property
+    def resolved_prf_name(self) -> str:
+        """The PRF evaluation will use (explicit hint or the keys')."""
+        return self.prf_name if self.prf_name is not None else self.arena().prf_name
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A backend's priced decision for one :class:`EvalRequest`.
+
+    Attributes:
+        backend: Name of the backend that produced the plan.
+        resident: Whether the plan assumes a device-resident key arena.
+        stats: Per-shard selections and merged timing, in the
+            :class:`~repro.gpu.multigpu.MultiGpuStats` shape regardless
+            of backend — a single-device backend emits exactly one
+            shard, so callers never branch on the backend type.
+    """
+
+    backend: str
+    resident: bool
+    stats: MultiGpuStats
+
+    @property
+    def batch_size(self) -> int:
+        return self.stats.batch_size
+
+    @property
+    def table_entries(self) -> int:
+        return self.stats.table_entries
+
+    @property
+    def latency_s(self) -> float:
+        return self.stats.latency_s
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.stats.throughput_qps
+
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        """Winning strategy name per shard, in device order."""
+        return tuple(s.selection.strategy for s in self.stats.shards)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every shard's winning plan fits its device."""
+        return all(s.selection.stats.feasible for s in self.stats.shards)
+
+    def meets_slo(self, slo_latency_s: float | None) -> bool:
+        """Whether the modeled latency honors ``slo_latency_s``.
+
+        ``None`` (no SLO) always holds, matching a request without the
+        hint.
+        """
+        return slo_latency_s is None or self.latency_s <= slo_latency_s
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Answers plus the accounting for one executed request.
+
+    Attributes:
+        answers: ``(B, L)`` uint64 share matrix in request key order;
+            adding both parties' matrices mod 2^64 reconstructs the
+            scaled one-hot rows.
+        plan: The :class:`ExecutionPlan` the batch ran under.
+        cost: Merged functional :class:`StrategyCost` across shards —
+            ``prf_blocks``/``parallel_width`` sum over shards and
+            ``peak_mem_bytes`` is the fleet-wide footprint (shards run
+            on distinct devices concurrently).  ``strategy`` is the
+            single shared name, or ``"mixed"`` when shards diverge.
+    """
+
+    answers: np.ndarray
+    plan: ExecutionPlan
+    cost: StrategyCost
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.answers.shape[0])

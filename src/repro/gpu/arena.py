@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -43,6 +44,12 @@ from repro.dpf.keys import (
     CorrectionWord,
     DpfKey,
 )
+
+KeySource = Union["KeyArena", Sequence[DpfKey], bytes, bytearray, memoryview]
+"""Anything a batch entry point accepts as key material: an arena
+(used as-is), a sequence of key objects (stacked), or a concatenated
+wire buffer (parsed vectorized).  :meth:`KeyArena.ingest` is the single
+normalization point."""
 
 
 @dataclass(frozen=True, eq=False)
@@ -212,6 +219,48 @@ class KeyArena:
             output_cws=output_cws,
             negate=parties == 1,
         )
+
+    @classmethod
+    def ingest(cls, source: KeySource, prf_name: str | None = None) -> "KeyArena":
+        """Normalize any accepted key source into a non-empty arena.
+
+        This is the one batch-entry point the execution stack shares:
+        strategies, the multi-GPU executor, and the
+        :mod:`repro.exec` backends all route their ``keys`` argument
+        through it instead of each re-implementing the
+        arena/objects/wire dispatch.
+
+        Args:
+            source: An existing arena (returned as-is after validation),
+                a sequence of :class:`DpfKey` objects (stacked via
+                :meth:`from_keys`), or concatenated wire bytes (parsed
+                via :meth:`from_wire`).
+            prf_name: When given, the PRF the evaluator will use; a
+                mismatch raises instead of silently diverging.
+
+        Raises:
+            ValueError: On an empty source, malformed wire bytes, mixed
+                domains/PRFs, or a ``prf_name`` mismatch.
+            TypeError: On a source of an unsupported type.
+        """
+        if isinstance(source, KeyArena):
+            if source.batch == 0:
+                raise ValueError("need at least one key")
+            arena = source
+        elif isinstance(source, (bytes, bytearray, memoryview)):
+            arena = cls.from_wire(bytes(source))
+        elif isinstance(source, Sequence) and not isinstance(source, str):
+            return cls.from_keys(list(source), prf_name=prf_name)
+        else:
+            # str is a Sequence but never key material — reject it here
+            # rather than dying on str.prf_name inside from_keys.
+            raise TypeError(
+                f"cannot ingest keys from {type(source).__name__}; pass a "
+                "KeyArena, a sequence of DpfKey, or wire bytes"
+            )
+        if prf_name is not None:
+            arena.require_prf(prf_name)
+        return arena
 
     # -- views and round trips -----------------------------------------
 

@@ -19,8 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.crypto.prf import Prf
-from repro.dpf.keys import DpfKey
-from repro.gpu.arena import ExpansionWorkspace, KeyArena
+from repro.gpu.arena import ExpansionWorkspace, KeyArena, KeySource
 from repro.gpu.device import DeviceSpec
 from repro.gpu.scheduler import Scheduler, Selection
 from repro.gpu.strategies import get_strategy
@@ -148,7 +147,7 @@ class MultiGpuExecutor:
         )
 
     def eval_batch(
-        self, keys: list[DpfKey] | KeyArena, prf: Prf, resident_keys: bool = False
+        self, keys: KeySource, prf: Prf, resident_keys: bool = False
     ) -> np.ndarray:
         """Functionally evaluate a key batch with the per-shard winners.
 
@@ -156,20 +155,15 @@ class MultiGpuExecutor:
         batch, runs each shard through its scheduler-selected strategy,
         and concatenates the ``(B, L)`` share matrix in input order.
 
-        The batch is stacked into one :class:`KeyArena` (or taken
-        as-is when already an arena); each device's shard is a
-        zero-copy slice of it, and each device reuses its persistent
-        :class:`ExpansionWorkspace`, so no key material is restacked
-        per shard.  ``resident_keys`` only affects the simulated shard
-        selection; the functional result is bit-identical either way.
+        ``keys`` is anything :meth:`KeyArena.ingest` accepts (arena,
+        key objects, or wire bytes); each device's shard is a zero-copy
+        slice of the resulting arena, and each device reuses its
+        persistent :class:`ExpansionWorkspace`, so no key material is
+        restacked per shard.  ``resident_keys`` only affects the
+        simulated shard selection; the functional result is
+        bit-identical either way.
         """
-        if isinstance(keys, KeyArena):
-            keys.require_prf(prf.name)
-            arena = keys
-        else:
-            arena = KeyArena.from_keys(list(keys), prf_name=prf.name)
-        if len(arena) == 0:
-            raise ValueError("need at least one key")
+        arena = KeyArena.ingest(keys, prf_name=prf.name)
         table_entries = arena.domain_size
         shares = self._shard_sizes(len(arena), table_entries, prf.name, resident_keys)
         outputs = []

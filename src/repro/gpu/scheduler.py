@@ -9,6 +9,11 @@ paper's decision procedure by *simulating* every registered strategy's
 kernel plan on the target device and picking the feasible plan with the
 highest throughput.  :class:`Scheduler` adds memoization for serving
 loops that make the same decision per (batch, table, PRF) shape.
+
+This module is selection policy only — it is not a batch entry point.
+Request-oriented execution (ingest keys, select, evaluate) lives in
+:mod:`repro.exec`, whose backends call :meth:`Scheduler.select` behind
+:class:`~repro.exec.EvalRequest`.
 """
 
 from __future__ import annotations

@@ -28,6 +28,11 @@ The V100 constants in :mod:`repro.gpu.device` make the fused
 memory-bounded kernel land on the paper's Table 4 calibration point
 (1,358 QPS for AES-128 over a 1M-entry table); the test suite asserts
 that to within 10%.
+
+The simulator prices plans and nothing else — callers who want "run
+this batch and tell me what it cost" go through a
+:class:`~repro.exec.ExecutionBackend`, which drives the scheduler (and
+therefore this model) behind one request API.
 """
 
 from __future__ import annotations

@@ -44,7 +44,7 @@ import numpy as np
 from repro.crypto.prf import Prf, get_prf, seeds_to_u64
 from repro.dpf import ggm
 from repro.dpf.keys import DpfKey, key_size_bytes
-from repro.gpu.arena import ExpansionWorkspace, KeyArena
+from repro.gpu.arena import ExpansionWorkspace, KeyArena, KeySource
 from repro.gpu.kernel import KernelPhase, KernelPlan
 from repro.gpu.memory import MemoryMeter
 
@@ -167,31 +167,25 @@ class Strategy(abc.ABC):
 
     def eval_batch(
         self,
-        keys: list[DpfKey] | KeyArena,
+        keys: KeySource,
         prf: Prf,
         meter: MemoryMeter | None = None,
         workspace: ExpansionWorkspace | None = None,
     ) -> np.ndarray:
         """Expand a batch of same-domain keys; ``(B, L)`` uint64 shares.
 
-        ``keys`` may be a list of key objects (stacked into a fresh
-        :class:`KeyArena` per call) or an already-built arena — the
-        serving hot path, where the stacking (or the vectorized wire
-        parse) happened once upstream.  ``workspace``, when given, keeps
-        the ping-pong frontier buffers alive across calls; the returned
-        share matrix is never workspace-backed.
+        ``keys`` is anything :meth:`KeyArena.ingest` accepts — an
+        already-built arena (the serving hot path, where stacking or the
+        vectorized wire parse happened once upstream), a list of key
+        objects, or concatenated wire bytes.  ``workspace``, when given,
+        keeps the ping-pong frontier buffers alive across calls; the
+        returned share matrix is never workspace-backed.
 
         All device-side expansion buffers are reported to ``meter``; the
         meter's ``current`` returns to zero before this method returns
         (buffers are released once the answer shares leave the device).
         """
-        if isinstance(keys, KeyArena):
-            if len(keys) == 0:
-                raise ValueError("need at least one key")
-            keys.require_prf(prf.name)
-            arena = keys
-        else:
-            arena = KeyArena.from_keys(list(keys), prf_name=prf.name)
+        arena = KeyArena.ingest(keys, prf_name=prf.name)
         meter = meter if meter is not None else MemoryMeter()
         return self._eval(arena, prf, meter, workspace)
 

@@ -1,0 +1,147 @@
+"""The PIR client: query generation and answer reconstruction.
+
+The client side of the paper's protocol is cheap by construction
+(Figure 3): generating a query is ``O(log L)`` PRF calls per index via
+:func:`repro.dpf.dpf.gen`, and reconstruction is one ring addition per
+query.  :class:`PirClient` batches both: one :meth:`~PirClient.query`
+call turns a set of secret indices into the two framed request buffers
+(one per non-colluding server), and :meth:`~PirClient.reconstruct`
+combines the two reply frames into the retrieved table entries —
+``share_0 + share_1 (mod 2^64)``, which telescopes to ``table[alpha]``
+because the servers' expansion shares sum to the one-hot vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.prf import Prf, get_prf
+from repro.dpf.dpf import gen
+from repro.dpf.keys import DpfKey, pack_keys
+from repro.pir.wire import PirQuery, PirReply
+
+
+def _as_index_list(indices: Sequence[int] | int | np.ndarray) -> list[int]:
+    """One normalization point for every accepted index form."""
+    if isinstance(indices, (int, np.integer)):
+        return [int(indices)]
+    index_list = [int(i) for i in indices]
+    if not index_list:
+        raise ValueError("need at least one query index")
+    return index_list
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """One issued query batch: what to send and how to match replies.
+
+    Attributes:
+        request_id: Correlation id embedded in both request frames.
+        indices: The secret indices, in answer order (client-side only;
+            never serialized).
+        requests: The two framed request buffers — ``requests[p]`` goes
+            to server ``p``.
+    """
+
+    request_id: int
+    indices: tuple[int, ...]
+    requests: tuple[bytes, bytes]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.indices)
+
+
+class PirClient:
+    """Issues private queries against a replicated two-server table.
+
+    Args:
+        table_entries: Table size L both servers hold.
+        prf: PRF (instance or registry name) shared with the servers.
+        rng: Source of key-generation randomness (default: a fresh
+            OS-seeded generator; pass a seeded one for reproducibility).
+    """
+
+    def __init__(
+        self,
+        table_entries: int,
+        prf: Prf | str = "aes128",
+        rng: np.random.Generator | None = None,
+    ):
+        if table_entries <= 0:
+            raise ValueError(f"table_entries must be positive, got {table_entries}")
+        self.table_entries = table_entries
+        self.prf = get_prf(prf) if isinstance(prf, str) else prf
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._next_request_id = 0
+
+    def generate_keys(
+        self, indices: Sequence[int] | int | np.ndarray
+    ) -> tuple[list[DpfKey], list[DpfKey]]:
+        """The raw key pairs for a batch of secret indices.
+
+        Returns:
+            ``(keys_0, keys_1)`` — key ``i`` of each list encodes
+            ``f(indices[i]) = 1``; list ``p`` goes to server ``p``.
+            This is the object-ingest form; :meth:`query` wraps it in
+            the wire protocol.
+        """
+        index_list = _as_index_list(indices)
+        keys_0, keys_1 = [], []
+        for alpha in index_list:
+            k0, k1 = gen(alpha, self.table_entries, self.prf, self.rng, beta=1)
+            keys_0.append(k0)
+            keys_1.append(k1)
+        return keys_0, keys_1
+
+    def query(self, indices: Sequence[int] | int | np.ndarray) -> QueryBatch:
+        """Build the two framed request buffers for a batch of indices."""
+        indices = _as_index_list(indices)
+        keys_0, keys_1 = self.generate_keys(indices)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        requests = tuple(
+            PirQuery(
+                request_id=request_id, count=len(keys), key_bytes=pack_keys(keys)
+            ).to_bytes()
+            for keys in (keys_0, keys_1)
+        )
+        return QueryBatch(
+            request_id=request_id, indices=tuple(indices), requests=requests
+        )
+
+    def reconstruct(
+        self,
+        batch: QueryBatch,
+        reply_0: bytes | PirReply,
+        reply_1: bytes | PirReply,
+    ) -> np.ndarray:
+        """Combine the two servers' replies into the table entries.
+
+        Returns:
+            ``(B,)`` uint64 — ``result[i] == table[batch.indices[i]]``.
+
+        Raises:
+            ValueError: On a malformed reply frame, a correlation-id
+                mismatch, or replies whose answer counts disagree with
+                the batch.
+        """
+        replies = []
+        for raw in (reply_0, reply_1):
+            reply = PirReply.from_bytes(raw) if isinstance(raw, bytes) else raw
+            if reply.request_id != batch.request_id:
+                raise ValueError(
+                    f"reply correlates to request {reply.request_id}, "
+                    f"expected {batch.request_id}"
+                )
+            if reply.answers.shape != (batch.batch_size,):
+                raise ValueError(
+                    f"reply carries {reply.answers.size} answers for a batch "
+                    f"of {batch.batch_size} queries"
+                )
+            replies.append(reply)
+        # Additive share combine in Z_{2^64}; uint64 wrap-around is the ring.
+        return (replies[0].answers + replies[1].answers).astype(np.uint64)

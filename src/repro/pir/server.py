@@ -1,0 +1,123 @@
+"""The PIR server: a replicated table answered through any backend.
+
+One :class:`PirServer` plays one of the two non-colluding parties in
+the paper's protocol.  It holds the table (8-byte entries, uint64 rows)
+and answers key batches in two forms:
+
+* :meth:`PirServer.answer_shares` — key material in any
+  :data:`~repro.gpu.arena.KeySource` form, returning raw uint64 answer
+  shares.  The wire form hands the bytes straight to
+  :meth:`KeyArena.from_wire` — no per-key Python objects on the hot
+  path.
+* :meth:`PirServer.handle` — the full framed protocol:
+  :class:`~repro.pir.wire.PirQuery` bytes in,
+  :class:`~repro.pir.wire.PirReply` bytes out.
+
+Evaluation flows through whatever :class:`ExecutionBackend` the server
+was built with — single-GPU, multi-GPU, or the simulated oracle — so
+the serving code is identical across deployment shapes; only the
+backend object changes.  The answer share for key ``k`` is the table
+dot product ``sum_i share_k[i] * table[i] (mod 2^64)``: the O(L) pass
+over every row that keeps the query oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec import EvalRequest, EvalResult, ExecutionBackend, SingleGpuBackend
+from repro.gpu.arena import KeySource
+from repro.pir.wire import PirQuery, PirReply
+
+ENTRY_BYTES = 8
+"""Bytes per table entry; the table is a uint64 row vector."""
+
+
+class PirServer:
+    """One party's server: table, backend, and the serving entry points.
+
+    Args:
+        table: The database — ``(L,)`` uint64 values (anything
+            ``np.asarray`` can coerce; values are taken mod 2^64).
+        backend: Execution backend to serve through (default: a
+            :class:`SingleGpuBackend` on the calibrated V100).
+        prf_name: PRF the clients' keys must have been generated for;
+            mismatching batches are rejected at ingestion.
+        resident: Serve in resident-keys mode — batches are planned and
+            priced as evaluated from a key arena already uploaded to
+            the device.  Answers are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        table: np.ndarray | Sequence[int],
+        backend: ExecutionBackend | None = None,
+        prf_name: str = "aes128",
+        resident: bool = False,
+    ):
+        table = np.ascontiguousarray(np.asarray(table, dtype=np.uint64))
+        if table.ndim != 1 or table.size == 0:
+            raise ValueError("table must be a non-empty 1-D array of uint64 entries")
+        self.table = table
+        self.backend = backend if backend is not None else SingleGpuBackend()
+        self.prf_name = prf_name
+        self.resident = resident
+
+    @property
+    def table_entries(self) -> int:
+        return int(self.table.size)
+
+    def _request(self, keys: KeySource) -> EvalRequest:
+        """Wrap a key batch in a request, validating it against the table."""
+        request = EvalRequest(
+            keys=keys,
+            prf_name=self.prf_name,
+            entry_bytes=ENTRY_BYTES,
+            resident=self.resident,
+        )
+        if request.arena().domain_size != self.table_entries:
+            raise ValueError(
+                f"query keys address a domain of {request.arena().domain_size} "
+                f"entries but this server's table has {self.table_entries}"
+            )
+        return request
+
+    def _combine(self, shares: np.ndarray) -> np.ndarray:
+        """The table dot product mod 2^64 — uint64 wrap-around is the
+        ring.  The one place the combine lives; matmul reduces without
+        materializing the ``(B, L)`` product array."""
+        return shares @ self.table
+
+    def evaluate(self, keys: KeySource) -> EvalResult:
+        """Run one key batch through the backend; full result object."""
+        return self.backend.run(self._request(keys))
+
+    def answer_shares(self, keys: KeySource) -> np.ndarray:
+        """Answer one key batch; ``(B,)`` uint64 shares in key order.
+
+        ``keys`` may be an arena, key objects, or concatenated wire
+        bytes; the wire form is the serving hot path (one vectorized
+        parse, zero per-key objects).
+        """
+        return self._combine(self.evaluate(keys).answers)
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Serve one framed request: query frame in, reply frame out.
+
+        Raises:
+            ValueError: On a malformed frame, a key batch that does not
+                match the frame's declared count, a domain/table
+                mismatch, or a PRF mismatch.
+        """
+        query = PirQuery.from_bytes(request_bytes)
+        request = self._request(query.key_bytes)
+        # Reject a lying count before paying for the O(B*L) evaluation.
+        if request.arena().batch != query.count:
+            raise ValueError(
+                f"query frame declares {query.count} keys but the payload "
+                f"carries {request.arena().batch}"
+            )
+        answers = self._combine(self.backend.run(request).answers)
+        return PirReply(request_id=query.request_id, answers=answers).to_bytes()

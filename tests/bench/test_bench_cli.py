@@ -1,0 +1,66 @@
+"""The bench CLI front end: --filter subsetting and --list mode."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "scripts" / "bench.py"
+
+
+@pytest.fixture(scope="module")
+def bench_cli():
+    spec = importlib.util.spec_from_file_location("bench_cli", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_cli"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("bench_cli", None)
+
+
+class TestFilter:
+    def test_filter_subsets_by_substring(self, bench_cli):
+        args = bench_cli._parse_args(["--filter", "pir_roundtrip"])
+        cases = bench_cli.select_cases(args)
+        assert cases
+        assert all(c.strategy == "pir_roundtrip" for c in cases)
+        everything = bench_cli.select_cases(bench_cli._parse_args([]))
+        assert len(cases) < len(everything)
+
+    def test_filter_is_case_insensitive_and_repeatable(self, bench_cli):
+        args = bench_cli._parse_args(
+            ["--filter", "PIR_ROUNDTRIP", "--filter", "reference"]
+        )
+        strategies = {c.strategy for c in bench_cli.select_cases(args)}
+        assert strategies == {"pir_roundtrip", "reference"}
+
+    def test_filter_matches_any_axis_token(self, bench_cli):
+        args = bench_cli._parse_args(["--smoke", "--filter", "L=2^6"])
+        cases = bench_cli.select_cases(args)
+        assert cases
+        assert all(c.log_domain == 6 for c in cases)
+
+    def test_no_match_returns_failure_exit_code(self, bench_cli, capsys):
+        assert bench_cli.main(["--filter", "no-such-case-anywhere"]) == 1
+        assert "no cases match" in capsys.readouterr().err
+
+
+class TestList:
+    def test_list_prints_cases_and_runs_nothing(self, bench_cli, tmp_path, capsys):
+        out = tmp_path / "should_not_exist.json"
+        assert bench_cli.main(["--list", "--smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "pir_roundtrip" in printed
+        assert "cases selected" in printed
+        assert not out.exists()
+
+    def test_list_composes_with_filter(self, bench_cli, capsys):
+        assert bench_cli.main(["--list", "--filter", "ingest"]) == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line and not line.endswith("cases selected")
+        ]
+        assert lines
+        assert all("ingest" in line for line in lines)

@@ -17,6 +17,7 @@ from repro.bench import (
 from repro.bench.harness import (
     INGEST,
     INGEST_MODES,
+    PIR_ROUNDTRIP,
     REFERENCE,
     SCHEMA_VERSION,
     _reference_blocks,
@@ -89,6 +90,61 @@ class TestGrids:
         assert any(c.ingest == "wire" and c.strategy != INGEST for c in cases)
         assert any(c.ingest == "arena" for c in cases)
         assert any(c.strategy == INGEST for c in cases)
+
+
+class TestPirRoundtripFamily:
+    def test_smoke_grid_covers_every_pir_serving_path(self):
+        modes = {c.ingest for c in smoke_grid() if c.strategy == PIR_ROUNDTRIP}
+        assert modes == set(INGEST_MODES)
+
+    def test_default_grid_includes_the_family(self):
+        cases = [c for c in default_grid() if c.strategy == PIR_ROUNDTRIP]
+        assert {c.ingest for c in cases} == set(INGEST_MODES)
+        # Both the small and the large table size are covered.
+        assert len({c.log_domain for c in cases}) == 2
+
+    def test_family_honors_strategy_restriction(self):
+        assert not any(
+            c.strategy == PIR_ROUNDTRIP
+            for c in default_grid(strategies=["memory_bounded"])
+        )
+        only_pir = default_grid(prfs=["chacha20"], strategies=[PIR_ROUNDTRIP])
+        assert only_pir
+        assert all(c.strategy == PIR_ROUNDTRIP for c in only_pir)
+        assert all(c.prf == "chacha20" for c in only_pir)
+
+    @pytest.mark.parametrize("mode", INGEST_MODES)
+    def test_pir_case_measures_and_verifies(self, mode):
+        case = BenchCase(
+            "siphash", PIR_ROUNDTRIP, 2, 5, ingest=mode, repeats=1, warmup=0
+        )
+        result = run_case(case)
+        assert result.strategy == PIR_ROUNDTRIP
+        assert result.qps > 0 and result.seconds > 0
+        assert result.verified
+        assert result.prf_blocks == 0 and result.peak_mem_bytes == 0
+
+    def test_pir_case_unknown_ingest_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingest mode"):
+            run_case(
+                BenchCase("siphash", PIR_ROUNDTRIP, 1, 4, ingest="bogus", repeats=1)
+            )
+
+
+class TestDescribe:
+    def test_describe_carries_every_axis(self):
+        case = BenchCase("aes128", PIR_ROUNDTRIP, 4, 10, ingest="wire")
+        text = case.describe()
+        for token in ("aes128", "pir_roundtrip", "wire", "B=4", "L=2^10"):
+            assert token in text
+
+    def test_run_grid_progress_uses_describe(self):
+        lines = []
+        run_grid(
+            [BenchCase("siphash", REFERENCE, 1, 3, repeats=1, warmup=0)],
+            progress=lines.append,
+        )
+        assert lines == [BenchCase("siphash", REFERENCE, 1, 3, repeats=1, warmup=0).describe()]
 
 
 class TestRunCase:

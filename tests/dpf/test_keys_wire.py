@@ -177,3 +177,68 @@ class TestBatchFraming:
         b, _ = _key(128)
         with pytest.raises(ValueError, match="same domain"):
             pack_keys([a, b])
+
+
+class TestTrailingGarbage:
+    """`split_wire`/`unpack_keys` must reject trailing garbage after the
+    last well-formed record — including garbage that leads with the key
+    magic, which used to frame as an extra "record" and only fail (or
+    not) one layer down."""
+
+    def test_magic_prefixed_garbage_rejected(self):
+        key, _ = _key(64)
+        wire = pack_keys([key, key])
+        # b"DPF1" + zeros parses as a header with domain_size 0; the
+        # old framing accepted it as a 36-byte record.
+        garbage = b"DPF1" + bytes(32)
+        with pytest.raises(ValueError, match="inconsistent"):
+            split_wire(wire + garbage)
+        with pytest.raises(ValueError, match="inconsistent"):
+            unpack_keys(wire + garbage)
+
+    def test_bad_party_byte_rejected_at_framing(self):
+        key, _ = _key(64)
+        record = bytearray(key.to_bytes())
+        record[4] = 2  # party must be 0 or 1
+        with pytest.raises(ValueError, match="party"):
+            split_wire(key.to_bytes() + bytes(record))
+
+    def test_short_trailing_garbage_rejected(self):
+        key, _ = _key(64)
+        with pytest.raises(ValueError, match="mid-header"):
+            split_wire(pack_keys([key]) + b"\x01")
+
+    @given(
+        case=dpf_cases(max_domain=64),
+        n_keys=st.integers(1, 3),
+        garbage=st.binary(min_size=1, max_size=64),
+    )
+    @STANDARD_SETTINGS
+    def test_fuzz_trailing_garbage_never_frames(self, case, n_keys, garbage):
+        """Any non-empty garbage suffix — arbitrary bytes, a magic-
+        prefixed pseudo-header, or a truncated real record — must raise
+        ValueError from both framing entry points."""
+        (key, _), _ = case.keys()
+        wire = pack_keys([key] * n_keys)
+        # A garbage suffix that is itself a well-formed record would be
+        # a legitimate record, not garbage; everything else must raise.
+        try:
+            DpfKey.from_bytes(garbage)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - ~2^-40 per example
+            return
+        for parse in (split_wire, unpack_keys):
+            with pytest.raises(ValueError):
+                parse(wire + garbage)
+
+    @given(case=dpf_cases(max_domain=64), cut=st.integers(1, 10_000))
+    @STANDARD_SETTINGS
+    def test_fuzz_truncated_extra_record_rejected(self, case, cut):
+        """A valid batch followed by a *prefix* of another valid record
+        is the realistic torn-stream shape; it must never frame."""
+        (key, _), _ = case.keys()
+        record = key.to_bytes()
+        cut = cut % (len(record) - 1) + 1  # 1..len-1: a strict prefix
+        with pytest.raises(ValueError):
+            split_wire(pack_keys([key, key]) + record[:cut])

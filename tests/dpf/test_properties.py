@@ -8,6 +8,7 @@ deterministic function of the RNG state.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -49,6 +50,48 @@ def test_eval_points_agrees_with_eval_full(case, data):
     for key in (k0, k1):
         full = eval_full(key, prf)
         assert np.array_equal(eval_points(key, prf, indices), full[indices])
+
+
+@given(case=dpf_cases(prfs=fast_prf_names), data=st.data())
+@STANDARD_SETTINGS
+def test_eval_points_arbitrary_index_sets(case, data):
+    """`eval_points(k, prf, idx) == eval_full(k, prf)[idx]` for *any*
+    index set — empty, duplicated, unsorted, or the whole (reversed)
+    domain — not just the small unique draws of the basic property."""
+    (k0, k1), prf = case.keys()
+    full_domain = np.arange(case.domain_size, dtype=np.int64)
+    candidates = [
+        np.array([], dtype=np.int64),
+        full_domain[::-1].copy(),
+        np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, case.domain_size - 1),
+                    min_size=0,
+                    max_size=2 * case.domain_size,
+                ),
+                label="with_duplicates",
+            ),
+            dtype=np.int64,
+        ),
+    ]
+    for key in (k0, k1):
+        full = eval_full(key, prf)
+        for indices in candidates:
+            got = eval_points(key, prf, indices)
+            assert got.shape == indices.shape
+            assert np.array_equal(got, full[indices])
+
+
+@given(case=dpf_cases(prfs=fast_prf_names), data=st.data())
+@STANDARD_SETTINGS
+def test_eval_points_rejects_out_of_domain(case, data):
+    (k0, _), prf = case.keys()
+    bad = data.draw(
+        st.sampled_from([-1, case.domain_size, case.domain_size + 7]), label="bad"
+    )
+    with pytest.raises(ValueError, match="out of domain"):
+        eval_points(k0, prf, np.array([0, bad], dtype=np.int64))
 
 
 @given(case=dpf_cases(prfs=fast_prf_names))

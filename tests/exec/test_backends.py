@@ -1,0 +1,225 @@
+"""The unified execution layer: one request API, three backends.
+
+Claims: every backend's ``run`` is bit-identical to the reference
+evaluator for every accepted key-source form (objects, arena, wire
+bytes) in both streaming and resident modes; ``plan`` exposes the
+scheduler's decision in one per-shard shape regardless of backend; and
+the request normalizes/ingests key material exactly once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import get_prf
+from repro.dpf import eval_full, gen, pack_keys
+from repro.exec import (
+    EvalRequest,
+    ExecutionBackend,
+    MultiGpuBackend,
+    SimulatedBackend,
+    SingleGpuBackend,
+    merged_cost,
+)
+from repro.gpu import KeyArena, V100, get_strategy
+
+PRF_NAME = "chacha20"
+DOMAIN = 200
+BATCH = 5
+
+BACKEND_FACTORIES = {
+    "single_gpu": lambda: SingleGpuBackend(),
+    "multi_gpu": lambda: MultiGpuBackend([V100, V100]),
+    "simulated": lambda: SimulatedBackend(),
+}
+
+
+def _make_keys(batch=BATCH, domain=DOMAIN, seed=5):
+    prf = get_prf(PRF_NAME)
+    rng = np.random.default_rng(seed)
+    keys = []
+    for i in range(batch):
+        k0, k1 = gen(int(rng.integers(0, domain)), domain, prf, rng, beta=i + 1)
+        keys.append(k0 if i % 2 else k1)
+    return keys, prf
+
+
+@pytest.fixture(scope="module")
+def reference():
+    keys, prf = _make_keys()
+    return keys, prf, np.stack([eval_full(k, prf) for k in keys])
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+class TestRunBitIdentity:
+    @pytest.mark.parametrize("source_form", ["objects", "arena", "wire"])
+    @pytest.mark.parametrize("resident", [False, True])
+    def test_run_matches_reference(self, backend_name, source_form, resident, reference):
+        keys, prf, expected = reference
+        if source_form == "objects":
+            source = keys
+        elif source_form == "arena":
+            source = KeyArena.from_keys(keys)
+        else:
+            source = pack_keys(keys)
+        backend = BACKEND_FACTORIES[backend_name]()
+        result = backend.run(
+            EvalRequest(keys=source, prf_name=prf.name, resident=resident)
+        )
+        assert np.array_equal(result.answers, expected)
+        assert result.batch_size == BATCH
+        assert result.plan.backend == backend_name
+        assert result.plan.resident is resident
+
+    def test_repeated_runs_reuse_backend_state(self, backend_name, reference):
+        """A serving loop over one backend stays bit-identical (the
+        persistent workspace/scheduler caches must not leak state)."""
+        keys, prf, expected = reference
+        backend = BACKEND_FACTORIES[backend_name]()
+        for _ in range(3):
+            result = backend.run(EvalRequest(keys=keys, prf_name=prf.name))
+            assert np.array_equal(result.answers, expected)
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+class TestPlan:
+    def test_plan_shape_is_uniform_across_backends(self, backend_name, reference):
+        keys, prf, _ = reference
+        plan = BACKEND_FACTORIES[backend_name]().plan(
+            EvalRequest(keys=keys, prf_name=prf.name)
+        )
+        assert plan.backend == backend_name
+        assert plan.batch_size == BATCH
+        assert plan.table_entries == DOMAIN
+        assert plan.latency_s > 0
+        assert plan.throughput_qps > 0
+        assert plan.feasible
+        assert len(plan.strategies) == len(plan.stats.shards) >= 1
+        assert sum(s.batch_size for s in plan.stats.shards) == BATCH
+
+    def test_resident_plans_amortize_the_key_upload(self, backend_name, reference):
+        keys, prf, _ = reference
+        backend = BACKEND_FACTORIES[backend_name]()
+        resident = backend.plan(
+            EvalRequest(keys=keys, prf_name=prf.name, resident=True)
+        )
+        assert all(
+            s.selection.plan.host_bytes_in == 0 for s in resident.stats.shards
+        )
+        assert all(
+            s.selection.plan.resident_bytes > 0 for s in resident.stats.shards
+        )
+        streaming = backend.plan(EvalRequest(keys=keys, prf_name=prf.name))
+        assert resident.throughput_qps > streaming.throughput_qps
+
+    def test_meets_slo(self, backend_name, reference):
+        keys, prf, _ = reference
+        plan = BACKEND_FACTORIES[backend_name]().plan(
+            EvalRequest(keys=keys, prf_name=prf.name)
+        )
+        assert plan.meets_slo(None)
+        assert plan.meets_slo(plan.latency_s * 2)
+        assert not plan.meets_slo(plan.latency_s / 2)
+
+
+class TestMergedCost:
+    def test_merged_cost_sums_over_shards(self, reference):
+        keys, prf, _ = reference
+        plan = MultiGpuBackend([V100, V100]).plan(
+            EvalRequest(keys=keys, prf_name=prf.name)
+        )
+        cost = merged_cost(plan.stats)
+        shard_costs = [
+            get_strategy(s.selection.strategy).cost(s.batch_size, DOMAIN)
+            for s in plan.stats.shards
+        ]
+        assert cost.prf_blocks == sum(c.prf_blocks for c in shard_costs) > 0
+        assert cost.peak_mem_bytes == sum(c.peak_mem_bytes for c in shard_costs)
+        assert cost.parallel_width == sum(c.parallel_width for c in shard_costs)
+        assert cost.batch_size == BATCH
+        assert cost.domain_size == DOMAIN
+
+    def test_uniform_shards_keep_the_strategy_name(self, reference):
+        keys, prf, _ = reference
+        result = SingleGpuBackend().run(EvalRequest(keys=keys, prf_name=prf.name))
+        assert result.cost.strategy == result.plan.strategies[0]
+
+
+class TestEvalRequest:
+    def test_arena_is_ingested_once(self):
+        keys, prf = _make_keys()
+        request = EvalRequest(keys=pack_keys(keys), prf_name=prf.name)
+        assert request.arena() is request.arena()
+
+    def test_prf_mismatch_rejected_at_ingestion(self):
+        keys, _ = _make_keys()
+        request = EvalRequest(keys=keys, prf_name="aes128")
+        with pytest.raises(ValueError, match="would not reconstruct"):
+            SingleGpuBackend().run(request)
+
+    def test_prf_defaults_to_the_keys_prf(self):
+        keys, prf = _make_keys(batch=2, domain=32)
+        request = EvalRequest(keys=keys)
+        assert request.resolved_prf_name == prf.name
+        expected = np.stack([eval_full(k, prf) for k in keys])
+        assert np.array_equal(SingleGpuBackend().run(request).answers, expected)
+
+    def test_empty_sources_rejected(self):
+        for source in ([], b"", KeyArena.from_keys(_make_keys(batch=1)[0])[0:0]):
+            with pytest.raises(ValueError):
+                EvalRequest(keys=source).arena()
+
+    def test_unsupported_source_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot ingest"):
+            EvalRequest(keys=42).arena()
+        # str is a Sequence, but never key material — it must hit the
+        # same TypeError, not an AttributeError deep inside from_keys.
+        with pytest.raises(TypeError, match="cannot ingest"):
+            EvalRequest(keys="not-wire-bytes").arena()
+
+
+class TestCustomStrategyPool:
+    """A backend built with a tuned pool must *execute and cost* the
+    pool's instances, not re-instantiate registry defaults by name."""
+
+    def test_run_and_cost_use_the_pool_instance(self, reference):
+        from repro.gpu import MemoryBoundedTree
+
+        keys, prf, expected = reference
+        tuned = MemoryBoundedTree(log_subtrees=1)
+        backend = SingleGpuBackend(strategies=[tuned])
+        result = backend.run(EvalRequest(keys=keys, prf_name=prf.name))
+        assert np.array_equal(result.answers, expected)
+        assert result.plan.strategies == ("memory_bounded",)
+        assert result.cost == tuned.cost(BATCH, DOMAIN)
+        # The default-parameter instance costs differently at this
+        # shape, so a silent fallback to the registry would show here.
+        assert result.cost != get_strategy("memory_bounded").cost(BATCH, DOMAIN)
+
+    def test_simulated_backend_costs_through_its_pool(self, reference):
+        from repro.gpu import MemoryBoundedTree
+
+        keys, prf, expected = reference
+        tuned = MemoryBoundedTree(log_subtrees=1)
+        backend = SimulatedBackend(strategies=[tuned])
+        result = backend.run(EvalRequest(keys=keys, prf_name=prf.name))
+        assert np.array_equal(result.answers, expected)
+        assert result.cost == tuned.cost(BATCH, DOMAIN)
+
+
+class TestProtocol:
+    def test_backends_implement_the_abstract_protocol(self):
+        for factory in BACKEND_FACTORIES.values():
+            assert isinstance(factory(), ExecutionBackend)
+        with pytest.raises(TypeError):
+            ExecutionBackend()
+
+    def test_multi_backend_accepts_a_bare_device(self, reference):
+        keys, prf, expected = reference
+        backend = MultiGpuBackend(V100)
+        result = backend.run(EvalRequest(keys=keys, prf_name=prf.name))
+        assert np.array_equal(result.answers, expected)
+        assert len(result.plan.stats.shards) == 1
+
+    def test_multi_backend_rejects_empty_fleet(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            MultiGpuBackend([])

@@ -172,6 +172,39 @@ class TestMultiGpu:
         assert np.array_equal(got, expected)
 
 
+class TestThroughputQps:
+    """`Scheduler.throughput_qps` is exactly the winning plan's rate."""
+
+    @pytest.mark.parametrize("resident", [False, True])
+    def test_equals_the_selected_plans_throughput(self, resident):
+        scheduler = Scheduler(V100)
+        for batch, table in ((1, 256), (64, 1 << 16), (512, MILLION)):
+            qps = scheduler.throughput_qps(
+                batch, table, resident_keys=resident
+            )
+            selection = scheduler.select(batch, table, resident_keys=resident)
+            assert qps == selection.stats.throughput_qps > 0
+
+    def test_matches_uncached_select_strategy(self):
+        """The memoized wrapper must not drift from the raw decision."""
+        scheduler = Scheduler(V100)
+        direct = select_strategy(128, 1 << 18, device=V100)
+        assert scheduler.throughput_qps(128, 1 << 18) == direct.stats.throughput_qps
+
+    def test_prf_axis_orders_like_table5(self):
+        scheduler = Scheduler(V100)
+        aes = scheduler.throughput_qps(512, MILLION, prf_name="aes128")
+        assert scheduler.throughput_qps(512, MILLION, prf_name="chacha20") > aes
+        assert scheduler.throughput_qps(512, MILLION, prf_name="sha256") < aes
+
+    def test_resident_mode_is_never_slower(self):
+        scheduler = Scheduler(V100)
+        for batch, table in ((8, 1 << 12), (64, 1 << 16), (512, MILLION)):
+            streaming = scheduler.throughput_qps(batch, table)
+            resident = scheduler.throughput_qps(batch, table, resident_keys=True)
+            assert resident >= streaming
+
+
 class TestResidentKeys:
     """Serving from an already-uploaded key arena (host_bytes_in = 0)."""
 

@@ -1,0 +1,195 @@
+"""The end-to-end two-server PIR round trip is bit-exact.
+
+The tentpole property: for random tables and random index sets,
+``client -> wire -> two servers -> reconstruction`` returns *exactly*
+the table entries — under both object ingestion and wire ingestion, in
+streaming and resident-keys modes, on the single-GPU, multi-GPU, and
+simulated backends.  Each (backend, ingest) pair runs the full
+Hypothesis property with residency and shapes drawn per example, so the
+whole {object, wire} x {streaming, resident} x {SingleGpu, MultiGpu,
+Simulated} cube is exercised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import MultiGpuBackend, SimulatedBackend, SingleGpuBackend
+from repro.gpu import V100
+from repro.pir import PirClient, PirServer
+
+from tests.strategies import domain_sizes, fast_prf_names
+
+BACKEND_FACTORIES = {
+    "single_gpu": lambda: SingleGpuBackend(),
+    "multi_gpu": lambda: MultiGpuBackend([V100, V100]),
+    "simulated": lambda: SimulatedBackend(),
+}
+
+ROUNDTRIP_SETTINGS = settings(max_examples=10, deadline=None)
+"""Fewer examples than STANDARD_SETTINGS: each example runs two full
+server evaluations per mode, and the test is parametrized over the
+backend x ingest grid."""
+
+
+@st.composite
+def pir_cases(draw):
+    domain = draw(domain_sizes(max_size=128))
+    indices = draw(
+        st.lists(st.integers(0, domain - 1), min_size=1, max_size=4)
+    )
+    return {
+        "domain": domain,
+        "indices": indices,
+        "prf": draw(fast_prf_names),
+        "table_seed": draw(st.integers(0, 2**32 - 1)),
+        "key_seed": draw(st.integers(0, 2**32 - 1)),
+        "resident": draw(st.booleans()),
+    }
+
+
+def _setup(case, backend_name):
+    rng = np.random.default_rng(case["table_seed"])
+    table = rng.integers(0, 1 << 64, size=case["domain"], dtype=np.uint64)
+    servers = [
+        PirServer(
+            table,
+            backend=BACKEND_FACTORIES[backend_name](),
+            prf_name=case["prf"],
+            resident=case["resident"],
+        )
+        for _ in range(2)
+    ]
+    client = PirClient(
+        case["domain"], case["prf"], rng=np.random.default_rng(case["key_seed"])
+    )
+    return table, servers, client
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+class TestRoundTripIsBitExact:
+    @given(case=pir_cases())
+    @ROUNDTRIP_SETTINGS
+    def test_wire_ingest(self, backend_name, case):
+        """Framed protocol: query frames in, reply frames out."""
+        table, servers, client = _setup(case, backend_name)
+        batch = client.query(case["indices"])
+        got = client.reconstruct(
+            batch,
+            servers[0].handle(batch.requests[0]),
+            servers[1].handle(batch.requests[1]),
+        )
+        assert np.array_equal(got, table[np.array(case["indices"])])
+
+    @given(case=pir_cases())
+    @ROUNDTRIP_SETTINGS
+    def test_object_ingest(self, backend_name, case):
+        """Unframed path: key objects straight into answer_shares."""
+        table, servers, client = _setup(case, backend_name)
+        keys_0, keys_1 = client.generate_keys(case["indices"])
+        got = (servers[0].answer_shares(keys_0) + servers[1].answer_shares(keys_1)).astype(
+            np.uint64
+        )
+        assert np.array_equal(got, table[np.array(case["indices"])])
+
+
+class TestRoundTripExamples:
+    """Deterministic pins beyond the property's small random shapes."""
+
+    def test_larger_batch_and_table(self):
+        domain, indices = 1000, [0, 999, 512, 31, 31, 700, 3, 255]
+        rng = np.random.default_rng(42)
+        table = rng.integers(0, 1 << 64, size=domain, dtype=np.uint64)
+        servers = [
+            PirServer(table, prf_name="chacha20", resident=True) for _ in range(2)
+        ]
+        client = PirClient(domain, "chacha20", rng=np.random.default_rng(43))
+        batch = client.query(indices)
+        got = client.reconstruct(
+            batch,
+            servers[0].handle(batch.requests[0]),
+            servers[1].handle(batch.requests[1]),
+        )
+        assert np.array_equal(got, table[np.array(indices)])
+
+    def test_single_index_scalar_query(self):
+        table = np.arange(37, dtype=np.uint64) * np.uint64(3)
+        servers = [PirServer(table, prf_name="siphash") for _ in range(2)]
+        client = PirClient(37, "siphash", rng=np.random.default_rng(9))
+        batch = client.query(17)
+        got = client.reconstruct(
+            batch,
+            servers[0].handle(batch.requests[0]),
+            servers[1].handle(batch.requests[1]),
+        )
+        assert got.shape == (1,)
+        assert got[0] == table[17]
+
+    def test_request_ids_increment_and_correlate(self):
+        table = np.ones(8, dtype=np.uint64)
+        servers = [PirServer(table, prf_name="siphash") for _ in range(2)]
+        client = PirClient(8, "siphash", rng=np.random.default_rng(1))
+        first = client.query([1])
+        second = client.query([2])
+        assert second.request_id == first.request_id + 1
+        reply_for_second = servers[0].handle(second.requests[0])
+        with pytest.raises(ValueError, match="correlates"):
+            client.reconstruct(
+                first, reply_for_second, servers[1].handle(first.requests[1])
+            )
+
+
+class TestServerValidation:
+    def test_domain_table_mismatch_rejected(self):
+        table = np.zeros(64, dtype=np.uint64)
+        server = PirServer(table, prf_name="siphash")
+        client = PirClient(128, "siphash", rng=np.random.default_rng(2))
+        batch = client.query([5])
+        with pytest.raises(ValueError, match="table has 64"):
+            server.handle(batch.requests[0])
+
+    def test_prf_mismatch_rejected(self):
+        table = np.zeros(16, dtype=np.uint64)
+        server = PirServer(table, prf_name="aes128")
+        client = PirClient(16, "siphash", rng=np.random.default_rng(2))
+        batch = client.query([5])
+        with pytest.raises(ValueError, match="would not reconstruct"):
+            server.handle(batch.requests[0])
+
+    def test_count_mismatch_rejected_before_evaluation(self):
+        from repro.exec import ExecutionBackend
+        from repro.pir import PirQuery
+
+        class MustNotRun(ExecutionBackend):
+            name = "must_not_run"
+
+            def plan(self, request):  # pragma: no cover - never reached
+                raise AssertionError("planned a lying frame")
+
+            def run(self, request):
+                raise AssertionError("evaluated a lying frame")
+
+        table = np.zeros(16, dtype=np.uint64)
+        server = PirServer(table, backend=MustNotRun(), prf_name="siphash")
+        client = PirClient(16, "siphash", rng=np.random.default_rng(2))
+        batch = client.query([5, 6])
+        query = PirQuery.from_bytes(batch.requests[0])
+        lying = PirQuery(
+            request_id=query.request_id, count=1, key_bytes=query.key_bytes
+        )
+        # The count check must fire on ingestion metadata alone — the
+        # O(B*L) evaluation never starts for a lying frame.
+        with pytest.raises(ValueError, match="declares 1 keys"):
+            server.handle(lying.to_bytes())
+
+    def test_malformed_tables_rejected(self):
+        with pytest.raises(ValueError, match="non-empty 1-D"):
+            PirServer(np.zeros((2, 2), dtype=np.uint64))
+        with pytest.raises(ValueError, match="non-empty 1-D"):
+            PirServer(np.zeros(0, dtype=np.uint64))
+
+    def test_empty_index_batch_rejected_client_side(self):
+        client = PirClient(16, "siphash")
+        with pytest.raises(ValueError, match="at least one"):
+            client.query([])

@@ -10,7 +10,30 @@ import importlib
 
 import pytest
 
-PACKAGES = ["repro", "repro.crypto", "repro.dpf", "repro.gpu", "repro.bench"]
+PACKAGES = [
+    "repro",
+    "repro.crypto",
+    "repro.dpf",
+    "repro.gpu",
+    "repro.exec",
+    "repro.pir",
+    "repro.bench",
+]
+
+
+def test_setup_py_declares_every_package():
+    """setup.py's explicit package list must cover this smoke list."""
+    import ast
+    import pathlib
+
+    setup_py = pathlib.Path(__file__).resolve().parent.parent / "setup.py"
+    tree = ast.parse(setup_py.read_text())
+    declared = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.keyword) and node.arg == "packages":
+            declared = set(ast.literal_eval(node.value))
+    assert declared, "setup.py must declare packages explicitly"
+    assert set(PACKAGES) <= declared
 
 
 @pytest.mark.parametrize("package", PACKAGES)
