@@ -32,7 +32,7 @@ from repro.bench import (  # noqa: E402  (path bootstrap above)
     smoke_grid,
     write_results,
 )
-from repro.bench.harness import INGEST, PIR_ROUNDTRIP, REFERENCE  # noqa: E402
+from repro.bench.harness import INGEST, PIR_ROUNDTRIP, REFERENCE, SERVING  # noqa: E402
 from repro.crypto import available_prfs  # noqa: E402
 from repro.gpu import available_strategies  # noqa: E402
 
@@ -47,7 +47,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--strategies",
         nargs="+",
-        choices=[REFERENCE, INGEST, PIR_ROUNDTRIP, *available_strategies()],
+        choices=[REFERENCE, INGEST, PIR_ROUNDTRIP, SERVING, *available_strategies()],
         help="restrict the strategy axis",
     )
     parser.add_argument("--batches", nargs="+", type=int, help="batch sizes")
@@ -111,8 +111,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{len(cases)} cases selected")
         return 0
     if not cases:
+        # Exit 2 (usage error), and before any output file is touched —
+        # a typo'd --filter must never overwrite a good run with an
+        # empty one.
         print("no cases match the given filters", file=sys.stderr)
-        return 1
+        return 2
 
     progress = None if args.quiet else lambda line: print(f"  {line}", flush=True)
     print(f"running {len(cases)} benchmark cases -> {args.out}")
@@ -122,11 +125,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n{'prf':12s} {'strategy':18s} {'ingest':8s} {'B':>3s} {'L':>8s} "
           f"{'ms':>9s} {'QPS':>10s} {'ns/blk':>8s} {'peak MiB':>9s}")
     for r in results:
-        print(
+        line = (
             f"{r.prf:12s} {r.strategy:18s} {r.ingest:8s} {r.batch:>3d} "
             f"{r.domain_size:>8d} {r.seconds * 1e3:>9.2f} {r.qps:>10.1f} "
             f"{r.ns_per_prf_block:>8.1f} {r.peak_mem_bytes / 2**20:>9.2f}"
         )
+        if r.strategy == SERVING:
+            load = f"{r.offered_qps:g}" if r.offered_qps > 0 else "burst"
+            line += (
+                f"  load={load} slo={r.slo_ms:g}ms "
+                f"p50={r.p50_ms:.2f}ms p99={r.p99_ms:.2f}ms"
+            )
+        print(line)
     return 0
 
 

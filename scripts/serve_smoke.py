@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""CI serve-smoke: a short async serving session, checked bit-exact.
+
+Runs concurrent simulated clients against two SLO-aware aggregation
+loops (`repro.serve.AsyncPirServer`) backed by a mixed V100 + A100
+fleet, and asserts:
+
+* every reconstructed answer equals the table row (bit-exact through
+  batch aggregation, fleet routing, and demultiplexing),
+* the loops actually aggregated (fused batches larger than one query),
+* the fleet router used the model (at least one batch on each party's
+  fastest device).
+
+Exit status is the assertion outcome, so this is runnable as a bare CI
+step with only numpy installed:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.exec import SingleGpuBackend  # noqa: E402
+from repro.gpu.device import A100, V100  # noqa: E402
+from repro.pir import PirClient, PirServer  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AsyncPirServer,
+    FleetScheduler,
+    SloConfig,
+    generate_load,
+)
+
+TABLE_ENTRIES = 256
+CLIENTS = 24
+PRF = "chacha20"
+
+
+def main() -> int:
+    rng = np.random.default_rng(2024)
+    table = rng.integers(0, 1 << 64, size=TABLE_ENTRIES, dtype=np.uint64)
+    indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
+    client = PirClient(TABLE_ENTRIES, PRF, rng=np.random.default_rng(7))
+
+    async def session():
+        loops = [
+            AsyncPirServer(
+                PirServer(table, prf_name=PRF),
+                slo=SloConfig(max_batch=8, max_wait_s=5e-3),
+                fleet=FleetScheduler(
+                    [SingleGpuBackend(V100), SingleGpuBackend(A100)]
+                ),
+            )
+            for _ in range(2)
+        ]
+        async with loops[0], loops[1]:
+            report = await generate_load(client, loops, indices)
+        return report, loops
+
+    report, loops = asyncio.run(session())
+
+    assert report.shed == 0, f"admission control shed {report.shed} queries"
+    assert report.answered == CLIENTS, (
+        f"answered {report.answered} of {CLIENTS} queries"
+    )
+    assert np.array_equal(report.answers, table[np.array(report.indices)]), (
+        "served answers diverged from the table"
+    )
+    for party, loop in enumerate(loops):
+        stats = loop.stats
+        assert stats.batches < CLIENTS, (
+            f"party {party} never aggregated: {stats.batches} batches "
+            f"for {CLIENTS} queries"
+        )
+        assert stats.largest_batch > 1, f"party {party} fused no batch"
+        assert any("A100" in label for label in stats.routes), (
+            f"party {party} never routed to the modeled A100: {stats.routes}"
+        )
+        print(
+            f"party {party}: {stats.answered} queries in {stats.batches} "
+            f"batches (largest {stats.largest_batch}, mean "
+            f"{stats.mean_batch:.1f}), flushes={stats.flushes}, "
+            f"routes={stats.routes}"
+        )
+    print(
+        f"serve-smoke ok: {report.answered} answers bit-exact, "
+        f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms "
+        f"({report.achieved_qps:.0f} qps)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

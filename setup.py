@@ -17,6 +17,7 @@ setup(
         "repro.exec",
         "repro.gpu",
         "repro.pir",
+        "repro.serve",
     ],
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],

@@ -16,15 +16,18 @@ Layers, bottom to top:
 * :mod:`repro.pir` — the end-to-end two-server PIR pipeline: client
   query generation, wire framing, and table serving through any
   execution backend.
+* :mod:`repro.serve` — the SLO-aware async serving layer: batch
+  aggregation under latency deadlines, bounded-queue admission
+  control, and model-priced fleet routing.
 * :mod:`repro.bench` — the wall-clock benchmark harness behind
   ``BENCH_dpf.json`` (QPS, ns per PRF block, peak metered bytes,
-  PIR round-trip latency).
+  PIR round-trip and serving-session latency).
 
 See ``docs/architecture.md`` for the layer diagram and a PIR
 quickstart.
 """
 
-from repro import bench, crypto, dpf, exec, gpu, pir
+from repro import bench, crypto, dpf, exec, gpu, pir, serve
 
 __version__ = "1.0.0"
 
@@ -35,4 +38,5 @@ __all__ = [
     "exec",
     "gpu",
     "pir",
+    "serve",
 ]

@@ -6,9 +6,11 @@ PRF x strategy x batch x log-domain x ingest-mode grid (how the keys
 arrive: per-call object stacking, wire-bytes parsing, or a persistent
 key arena), reported as queries per second, nanoseconds per PRF block,
 and peak metered bytes, and emitted as ``BENCH_dpf.json`` so the
-trajectory is diffable across commits.  Schema 4 adds the
-``pir_roundtrip`` family: the end-to-end two-server pipeline timed over
-the same ingest-mode axis.
+trajectory is diffable across commits.  Schema 4 added the
+``pir_roundtrip`` family (the end-to-end two-server pipeline timed over
+the same ingest-mode axis); schema 5 adds the ``serving`` family (the
+async batch-aggregation loop under concurrent clients, reporting QPS
+and p50/p99 latency vs offered load and SLO deadline).
 
 ``scripts/bench.py`` is the CLI front end; ``--smoke`` runs the small
 CI grid, ``--list``/``--filter`` inspect and subset the case grid.
@@ -17,6 +19,7 @@ CI grid, ``--list``/``--filter`` inspect and subset the case grid.
 from repro.bench.harness import (
     INGEST_MODES,
     PIR_ROUNDTRIP,
+    SERVING,
     BenchCase,
     BenchResult,
     default_grid,
@@ -32,6 +35,7 @@ __all__ = [
     "BenchResult",
     "INGEST_MODES",
     "PIR_ROUNDTRIP",
+    "SERVING",
     "default_grid",
     "smoke_grid",
     "run_case",

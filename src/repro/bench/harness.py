@@ -22,6 +22,7 @@ Methodology (see ``docs/performance.md``):
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 import platform
@@ -42,6 +43,13 @@ from repro.gpu import (
     get_strategy,
 )
 from repro.pir import PirClient, PirServer
+from repro.serve import (
+    AdmissionConfig,
+    AsyncPirServer,
+    LoadReport,
+    SloConfig,
+    generate_load,
+)
 
 REFERENCE = "reference"
 """Pseudo-strategy name for the reference ``dpf.eval_full`` walk."""
@@ -77,6 +85,20 @@ entries* per second.  The ``ingest`` axis selects the serving path:
   (the residency hint flows through the backend's planner).
 """
 
+SERVING = "serving"
+"""Pseudo-strategy name for the async batch-aggregation serving loop.
+
+A ``serving`` case runs a short asyncio session: ``batch`` independent
+single-query clients fire framed queries at two
+:class:`~repro.serve.AsyncPirServer` loops (one per non-colluding
+party), paced to ``offered_qps`` queries/s (0 = one unpaced burst),
+with the aggregation deadline set to ``slo_ms``.  ``qps`` is *answered*
+queries per second of session wall time, and the row additionally
+reports ``p50_ms`` / ``p99_ms`` request latency — the SLO-facing
+numbers.  Every session's reconstructed answers are verified bit-exact
+against the table before the timed sessions run.
+"""
+
 INGEST_MODES = ("objects", "wire", "arena")
 """How ``eval_batch`` receives its keys at each grid point.
 
@@ -89,7 +111,10 @@ INGEST_MODES = ("objects", "wire", "arena")
   work is evaluation only.
 """
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+"""Bumped to 5 with the ``serving`` case family: cases and results grew
+``offered_qps`` / ``slo_ms`` axes and results grew ``p50_ms`` /
+``p99_ms`` latency percentiles (0 for non-serving rows)."""
 
 
 @dataclass(frozen=True)
@@ -106,6 +131,10 @@ class BenchCase:
         ingest: Key ingestion mode (see :data:`INGEST_MODES`).
         repeats: Timed iterations (min is reported).
         warmup: Untimed warm-up iterations.
+        offered_qps: :data:`SERVING` cases only — client pacing target
+            in queries/s (0 = one unpaced burst).
+        slo_ms: :data:`SERVING` cases only — the aggregation loop's
+            ``max_wait_s`` deadline, in milliseconds.
     """
 
     prf: str
@@ -115,6 +144,8 @@ class BenchCase:
     ingest: str = "objects"
     repeats: int = 3
     warmup: int = 1
+    offered_qps: float = 0.0
+    slo_ms: float = 0.0
 
     @property
     def domain_size(self) -> int:
@@ -123,15 +154,24 @@ class BenchCase:
     def describe(self) -> str:
         """The aligned one-line label used for progress, --list and
         --filter matching."""
-        return (
+        label = (
             f"{self.prf:12s} {self.strategy:18s} {self.ingest:8s} "
             f"B={self.batch:<3d} L=2^{self.log_domain}"
         )
+        if self.strategy == SERVING:
+            load = f"{self.offered_qps:g}" if self.offered_qps > 0 else "burst"
+            label += f" load={load} slo={self.slo_ms:g}ms"
+        return label
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Measured numbers for one :class:`BenchCase`."""
+    """Measured numbers for one :class:`BenchCase`.
+
+    ``offered_qps`` / ``slo_ms`` echo the case axes and ``p50_ms`` /
+    ``p99_ms`` are per-request latency percentiles; all four are
+    meaningful for :data:`SERVING` rows and 0 elsewhere.
+    """
 
     prf: str
     strategy: str
@@ -145,6 +185,10 @@ class BenchResult:
     ns_per_prf_block: float
     peak_mem_bytes: int
     verified: bool
+    offered_qps: float = 0.0
+    slo_ms: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
 
 
 def _reference_blocks(batch: int, log_domain: int) -> int:
@@ -180,6 +224,8 @@ def _result(
     prf_blocks: int,
     peak_mem: int,
     verified: bool,
+    p50_ms: float = 0.0,
+    p99_ms: float = 0.0,
 ) -> BenchResult:
     return BenchResult(
         prf=case.prf,
@@ -194,6 +240,10 @@ def _result(
         ns_per_prf_block=seconds * 1e9 / prf_blocks if prf_blocks else 0.0,
         peak_mem_bytes=peak_mem,
         verified=verified,
+        offered_qps=case.offered_qps,
+        slo_ms=case.slo_ms,
+        p50_ms=p50_ms,
+        p99_ms=p99_ms,
     )
 
 
@@ -259,6 +309,78 @@ def _run_pir_case(case: BenchCase, verify: bool) -> BenchResult:
     return _result(case, _time_work(case, work), 0, 0, verified)
 
 
+def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
+    """Run asyncio serving sessions; see :data:`SERVING`.
+
+    Each session is ``case.batch`` independent single-query clients
+    against two aggregation loops on :class:`SingleGpuBackend`; the
+    fastest of ``case.repeats`` sessions is reported (after ``warmup``
+    untimed sessions), with that session's latency percentiles.
+    """
+    if case.slo_ms <= 0:
+        raise ValueError(f"serving cases need a positive slo_ms, got {case.slo_ms}")
+    rng = np.random.default_rng(11)
+    table = rng.integers(0, 1 << 64, size=case.domain_size, dtype=np.uint64)
+    indices = rng.integers(0, case.domain_size, size=case.batch).tolist()
+    resident = case.ingest == "arena"
+    slo = SloConfig(
+        max_batch=max(2, case.batch // 2), max_wait_s=case.slo_ms * 1e-3
+    )
+    # Sized so nothing sheds: the bench measures latency, not the
+    # shedding policy (tests/serve/ covers that).
+    admission = AdmissionConfig(max_pending=max(case.batch, 1))
+
+    def session() -> LoadReport:
+        servers = [
+            PirServer(
+                table,
+                backend=SingleGpuBackend(),
+                prf_name=case.prf,
+                resident=resident,
+            )
+            for _ in range(2)
+        ]
+        client = PirClient(case.domain_size, case.prf, rng=np.random.default_rng(13))
+
+        async def run():
+            loops = [
+                AsyncPirServer(server, slo=slo, admission=admission)
+                for server in servers
+            ]
+            async with loops[0], loops[1]:
+                return await generate_load(
+                    client, loops, indices, offered_qps=case.offered_qps
+                )
+
+        return asyncio.run(run())
+
+    verified = False
+    if verify:
+        report = session()
+        if report.shed:
+            raise ValueError(f"serving session shed {report.shed} queries for {case}")
+        if not np.array_equal(report.answers, table[np.array(report.indices)]):
+            raise ValueError(f"served answers diverged from the table for {case}")
+        verified = True
+
+    for _ in range(case.warmup):
+        session()
+    best = None
+    for _ in range(case.repeats):
+        report = session()
+        if best is None or report.wall_s < best.wall_s:
+            best = report
+    return _result(
+        case,
+        best.wall_s,
+        0,
+        0,
+        verified,
+        p50_ms=best.p50_ms,
+        p99_ms=best.p99_ms,
+    )
+
+
 def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
     """Execute one grid point and return its measurements.
 
@@ -274,6 +396,9 @@ def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
         ValueError: If verification fails — the numbers would be
             meaningless.
     """
+    if case.strategy == SERVING:
+        return _run_serving_case(case, verify)
+
     if case.strategy == PIR_ROUNDTRIP:
         return _run_pir_case(case, verify)
 
@@ -376,13 +501,17 @@ def default_grid(
     * :data:`PIR_ROUNDTRIP` cases time the end-to-end two-server
       pipeline at the small and large table sizes, across the
       objects/wire/arena serving paths.
+    * :data:`SERVING` cases run the async batch-aggregation loop at the
+      small table size across a {burst, paced} x {tight, loose SLO}
+      grid — QPS and p50/p99 latency vs offered load and deadline.
     """
     prfs = list(prfs) if prfs is not None else available_prfs()
-    # The INGEST micro-cases and PIR round trips ride along by default
-    # but honor an explicit strategy restriction (neither pseudo-strategy
-    # ever enters the eval product).
+    # The INGEST micro-cases, PIR round trips, and serving sessions ride
+    # along by default but honor an explicit strategy restriction (no
+    # pseudo-strategy ever enters the eval product).
     include_ingest = bool(prfs) and (strategies is None or INGEST in strategies)
     include_pir = bool(prfs) and (strategies is None or PIR_ROUNDTRIP in strategies)
+    include_serving = bool(prfs) and (strategies is None or SERVING in strategies)
     ingest_prf = "aes128" if "aes128" in prfs else (prfs[0] if prfs else "aes128")
     strategies = [
         s
@@ -391,7 +520,7 @@ def default_grid(
             if strategies is not None
             else [REFERENCE, *available_strategies()]
         )
-        if s not in (INGEST, PIR_ROUNDTRIP)
+        if s not in (INGEST, PIR_ROUNDTRIP, SERVING)
     ]
     cases = []
     for prf in prfs:
@@ -459,14 +588,34 @@ def default_grid(
                         repeats=repeats,
                     )
                 )
+    if include_serving:
+        # 32 single-query clients at the small table: an unpaced burst
+        # (maximum aggregation pressure) and a paced stream, each under
+        # a tight and a loose flush deadline.  qps/p50/p99 vs offered
+        # load and SLO, per the serving-loop acceptance criteria.
+        for offered_qps in (0.0, 512.0):
+            for slo_ms in (1.0, 8.0):
+                cases.append(
+                    BenchCase(
+                        ingest_prf,
+                        SERVING,
+                        32,
+                        min(log_domains),
+                        ingest="wire",
+                        repeats=repeats,
+                        offered_qps=offered_qps,
+                        slo_ms=slo_ms,
+                    )
+                )
     return cases
 
 
 def smoke_grid() -> list[BenchCase]:
     """A seconds-long grid for CI: every strategy once, two PRFs,
     plus one wire-ingest eval, one persistent-arena eval, one ingestion
-    micro-case, and the end-to-end PIR round trip on every serving path
-    so every ingest mode and the pipeline itself stay exercised."""
+    micro-case, the end-to-end PIR round trip on every serving path,
+    and one async serving session, so every ingest mode, the pipeline,
+    and the aggregation loop all stay exercised."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
@@ -479,6 +628,19 @@ def smoke_grid() -> list[BenchCase]:
         cases.append(
             BenchCase("chacha20", PIR_ROUNDTRIP, 2, 6, ingest=mode, repeats=1, warmup=0)
         )
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+        )
+    )
     for strategy in available_strategies():
         cases.append(BenchCase("siphash", strategy, 1, 8, repeats=1, warmup=0))
     return cases

@@ -19,6 +19,7 @@ request/plan/result vocabulary:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -73,6 +74,65 @@ class EvalRequest:
     def resolved_prf_name(self) -> str:
         """The PRF evaluation will use (explicit hint or the keys')."""
         return self.prf_name if self.prf_name is not None else self.arena().prf_name
+
+    @classmethod
+    def merge(
+        cls, requests: Sequence["EvalRequest"]
+    ) -> tuple["EvalRequest", tuple[int, ...]]:
+        """Fuse several requests into one kernel-sized batch request.
+
+        This is what turns N concurrent clients' queries into the one
+        fused expansion the paper's serving throughput comes from: the
+        requests' arenas concatenate in order
+        (:meth:`KeyArena.concat`), so row ranges of the merged answers
+        map back to the original requests by offset —
+        :meth:`EvalResult.split` does exactly that slicing.
+
+        The merged request keeps the shared ``entry_bytes``/``resident``
+        settings and the *tightest* latency SLO of any constituent (the
+        batch must honor every caller's deadline).
+
+        Args:
+            requests: Non-empty sequence of requests over the same
+                domain/PRF with identical ``entry_bytes`` and
+                ``resident`` settings.
+
+        Returns:
+            ``(merged, sizes)`` — the fused request plus each
+            constituent's batch size, in order (``sizes[i]`` rows of the
+            merged answers belong to ``requests[i]``).
+
+        Raises:
+            ValueError: On an empty sequence, mismatched
+                ``entry_bytes``/``resident``/PRF settings, or arenas
+                whose domains disagree.
+        """
+        if not requests:
+            raise ValueError("need at least one request to merge")
+        first = requests[0]
+        for request in requests[1:]:
+            if request.entry_bytes != first.entry_bytes:
+                raise ValueError(
+                    "cannot merge requests with different entry_bytes "
+                    f"({request.entry_bytes} vs {first.entry_bytes})"
+                )
+            if request.resident != first.resident:
+                raise ValueError("cannot merge resident and streaming requests")
+            if request.resolved_prf_name != first.resolved_prf_name:
+                raise ValueError(
+                    "cannot merge requests with different PRFs "
+                    f"({request.resolved_prf_name!r} vs {first.resolved_prf_name!r})"
+                )
+        arenas = [request.arena() for request in requests]
+        slos = [r.slo_latency_s for r in requests if r.slo_latency_s is not None]
+        merged = cls(
+            keys=KeyArena.concat(arenas),
+            prf_name=first.prf_name,
+            entry_bytes=first.entry_bytes,
+            resident=first.resident,
+            slo_latency_s=min(slos) if slos else None,
+        )
+        return merged, tuple(arena.batch for arena in arenas)
 
 
 @dataclass(frozen=True)
@@ -150,3 +210,31 @@ class EvalResult:
     @property
     def batch_size(self) -> int:
         return int(self.answers.shape[0])
+
+    def split(self, sizes: Sequence[int]) -> list[np.ndarray]:
+        """Slice the answers back into per-request share matrices.
+
+        The demultiplexing half of :meth:`EvalRequest.merge`: given the
+        ``sizes`` that call returned, slice the merged ``(B, L)`` answer
+        matrix into one zero-copy view per constituent request, in
+        merge order.
+
+        Raises:
+            ValueError: If ``sizes`` is empty, contains a non-positive
+                size, or does not sum to this result's batch size.
+        """
+        if not sizes:
+            raise ValueError("need at least one slice size")
+        if any(size <= 0 for size in sizes):
+            raise ValueError(f"slice sizes must be positive, got {tuple(sizes)}")
+        if sum(sizes) != self.batch_size:
+            raise ValueError(
+                f"slice sizes sum to {sum(sizes)} but the result carries "
+                f"{self.batch_size} answer rows"
+            )
+        views = []
+        offset = 0
+        for size in sizes:
+            views.append(self.answers[offset : offset + size])
+            offset += size
+        return views

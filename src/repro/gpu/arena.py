@@ -262,6 +262,50 @@ class KeyArena:
             arena.require_prf(prf_name)
         return arena
 
+    @classmethod
+    def concat(cls, arenas: Sequence["KeyArena"]) -> "KeyArena":
+        """Stack several same-shape arenas into one merged batch.
+
+        This is the aggregation primitive the serving loop uses to fuse
+        many concurrent clients' key batches into one kernel-sized
+        batch: key ``i`` of arena ``j`` becomes row
+        ``sum(len(arenas[:j])) + i`` of the result, so callers can slice
+        the merged answers back out by offset.  The copy is one
+        ``np.concatenate`` per field — no per-key Python objects.
+
+        Args:
+            arenas: Non-empty sequence of arenas sharing the same
+                domain, depth, and PRF.  A single arena is returned
+                as-is (no copy).
+
+        Raises:
+            ValueError: On an empty sequence or arenas whose domains or
+                PRFs disagree (the merged batch would be meaningless).
+        """
+        if not arenas:
+            raise ValueError("need at least one arena")
+        first = arenas[0]
+        for arena in arenas[1:]:
+            if (arena.domain_size, arena.depth) != (first.domain_size, first.depth):
+                raise ValueError("all arenas in a merge must share the same domain")
+            if arena.prf_name != first.prf_name:
+                raise ValueError("all arenas in a merge must share the same PRF")
+        if len(arenas) == 1:
+            return first
+        return cls(
+            batch=sum(arena.batch for arena in arenas),
+            depth=first.depth,
+            domain_size=first.domain_size,
+            prf_name=first.prf_name,
+            roots=np.concatenate([a.roots for a in arenas]),
+            root_ts=np.concatenate([a.root_ts for a in arenas]),
+            cw_seeds=np.concatenate([a.cw_seeds for a in arenas]),
+            cw_t_left=np.concatenate([a.cw_t_left for a in arenas]),
+            cw_t_right=np.concatenate([a.cw_t_right for a in arenas]),
+            output_cws=np.concatenate([a.output_cws for a in arenas]),
+            negate=np.concatenate([a.negate for a in arenas]),
+        )
+
     # -- views and round trips -----------------------------------------
 
     def __eq__(self, other: object) -> bool:

@@ -159,3 +159,24 @@ class Scheduler:
         return self.select(
             batch_size, table_entries, prf_name, resident_keys
         ).stats.throughput_qps
+
+    def latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident_keys: bool = False,
+    ) -> float:
+        """Simulated best-strategy batch latency for a workload shape.
+
+        The direct cost probe next to :meth:`throughput_qps`: the same
+        number a backend's :meth:`~repro.exec.ExecutionBackend.plan`
+        reports as :attr:`~repro.exec.ExecutionPlan.latency_s` (which
+        is what :class:`~repro.serve.FleetScheduler` ranks routing
+        candidates by), exposed here for callers that want to price a
+        shape without building an :class:`~repro.exec.EvalRequest`.
+        Memoized per shape like every ``select`` result.
+        """
+        return self.select(
+            batch_size, table_entries, prf_name, resident_keys
+        ).stats.latency_s

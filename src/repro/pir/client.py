@@ -113,6 +113,40 @@ class PirClient:
             request_id=request_id, indices=tuple(indices), requests=requests
         )
 
+    def query_many(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        queries_per_request: int = 1,
+    ) -> list[QueryBatch]:
+        """Build many independent framed request pairs in one call.
+
+        Where :meth:`query` models one client sending one batch,
+        ``query_many`` models a *population* of concurrent clients:
+        each group of ``queries_per_request`` consecutive indices
+        becomes its own :class:`QueryBatch` with its own correlation id
+        and wire frames (a trailing short group keeps the remainder).
+        This is what the serving load generator fires at the async
+        batch-aggregation loop — callers no longer loop per index.
+
+        Args:
+            indices: Secret indices, split into per-request groups in
+                order.
+            queries_per_request: Indices per generated request (>= 1).
+
+        Raises:
+            ValueError: On an empty index list or a non-positive group
+                size.
+        """
+        index_list = _as_index_list(indices)
+        if queries_per_request <= 0:
+            raise ValueError(
+                f"queries_per_request must be positive, got {queries_per_request}"
+            )
+        return [
+            self.query(index_list[start : start + queries_per_request])
+            for start in range(0, len(index_list), queries_per_request)
+        ]
+
     def reconstruct(
         self,
         batch: QueryBatch,

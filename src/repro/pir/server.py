@@ -48,6 +48,10 @@ class PirServer:
         resident: Serve in resident-keys mode — batches are planned and
             priced as evaluated from a key arena already uploaded to
             the device.  Answers are bit-identical either way.
+        max_batch: Upper bound on keys per request (``None`` =
+            unlimited).  An oversized batch is rejected at ingestion,
+            before any O(B*L) evaluation — the synchronous counterpart
+            of the serving loop's admission control.
     """
 
     def __init__(
@@ -56,21 +60,35 @@ class PirServer:
         backend: ExecutionBackend | None = None,
         prf_name: str = "aes128",
         resident: bool = False,
+        max_batch: int | None = None,
     ):
         table = np.ascontiguousarray(np.asarray(table, dtype=np.uint64))
         if table.ndim != 1 or table.size == 0:
             raise ValueError("table must be a non-empty 1-D array of uint64 entries")
+        if max_batch is not None and max_batch <= 0:
+            raise ValueError(f"max_batch must be positive or None, got {max_batch}")
         self.table = table
         self.backend = backend if backend is not None else SingleGpuBackend()
         self.prf_name = prf_name
         self.resident = resident
+        self.max_batch = max_batch
 
     @property
     def table_entries(self) -> int:
         return int(self.table.size)
 
-    def _request(self, keys: KeySource) -> EvalRequest:
-        """Wrap a key batch in a request, validating it against the table."""
+    def build_request(self, keys: KeySource) -> EvalRequest:
+        """Wrap a key batch in a request, validating it against the table.
+
+        The serving-loop adapter hook: :class:`~repro.serve.AsyncPirServer`
+        validates every arriving query through this method (so
+        malformed batches fail at submission) and later merges the
+        per-query requests into one fused :class:`EvalRequest`.
+
+        Raises:
+            ValueError: On malformed keys, a domain/table mismatch, a
+                PRF mismatch, or a batch larger than ``max_batch``.
+        """
         request = EvalRequest(
             keys=keys,
             prf_name=self.prf_name,
@@ -82,17 +100,24 @@ class PirServer:
                 f"query keys address a domain of {request.arena().domain_size} "
                 f"entries but this server's table has {self.table_entries}"
             )
+        if self.max_batch is not None and request.arena().batch > self.max_batch:
+            raise ValueError(
+                f"query batch of {request.arena().batch} keys exceeds this "
+                f"server's max_batch of {self.max_batch}"
+            )
         return request
 
-    def _combine(self, shares: np.ndarray) -> np.ndarray:
+    def combine(self, shares: np.ndarray) -> np.ndarray:
         """The table dot product mod 2^64 — uint64 wrap-around is the
         ring.  The one place the combine lives; matmul reduces without
-        materializing the ``(B, L)`` product array."""
+        materializing the ``(B, L)`` product array.  Public because the
+        serving loop combines one *merged* share matrix and slices the
+        result per request."""
         return shares @ self.table
 
     def evaluate(self, keys: KeySource) -> EvalResult:
         """Run one key batch through the backend; full result object."""
-        return self.backend.run(self._request(keys))
+        return self.backend.run(self.build_request(keys))
 
     def answer_shares(self, keys: KeySource) -> np.ndarray:
         """Answer one key batch; ``(B,)`` uint64 shares in key order.
@@ -101,7 +126,40 @@ class PirServer:
         bytes; the wire form is the serving hot path (one vectorized
         parse, zero per-key objects).
         """
-        return self._combine(self.evaluate(keys).answers)
+        return self.combine(self.evaluate(keys).answers)
+
+    def ingest_query(self, query: PirQuery) -> EvalRequest:
+        """Ingest and validate one parsed query's key payload.
+
+        The expensive half of query validation (arena ingestion plus
+        domain/PRF/count checks), separated from the cheap frame parse
+        so the async serving loop can admission-check on the frame
+        header *before* paying for ingestion of a query it may shed.
+
+        Raises:
+            ValueError: On malformed keys, a key batch that does not
+                match the frame's declared count, a domain/table
+                mismatch, a PRF mismatch, or an oversized batch.
+        """
+        request = self.build_request(query.key_bytes)
+        # Reject a lying count before paying for the O(B*L) evaluation.
+        if request.arena().batch != query.count:
+            raise ValueError(
+                f"query frame declares {query.count} keys but the payload "
+                f"carries {request.arena().batch}"
+            )
+        return request
+
+    def parse_query(self, request_bytes: bytes) -> tuple[PirQuery, EvalRequest]:
+        """Validate one framed query end to end, without evaluating it.
+
+        Raises:
+            ValueError: On a malformed frame, a key batch that does not
+                match the frame's declared count, a domain/table
+                mismatch, a PRF mismatch, or an oversized batch.
+        """
+        query = PirQuery.from_bytes(request_bytes)
+        return query, self.ingest_query(query)
 
     def handle(self, request_bytes: bytes) -> bytes:
         """Serve one framed request: query frame in, reply frame out.
@@ -109,15 +167,8 @@ class PirServer:
         Raises:
             ValueError: On a malformed frame, a key batch that does not
                 match the frame's declared count, a domain/table
-                mismatch, or a PRF mismatch.
+                mismatch, a PRF mismatch, or an oversized batch.
         """
-        query = PirQuery.from_bytes(request_bytes)
-        request = self._request(query.key_bytes)
-        # Reject a lying count before paying for the O(B*L) evaluation.
-        if request.arena().batch != query.count:
-            raise ValueError(
-                f"query frame declares {query.count} keys but the payload "
-                f"carries {request.arena().batch}"
-            )
-        answers = self._combine(self.backend.run(request).answers)
+        query, request = self.parse_query(request_bytes)
+        answers = self.combine(self.backend.run(request).answers)
         return PirReply(request_id=query.request_id, answers=answers).to_bytes()

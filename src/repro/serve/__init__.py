@@ -1,0 +1,55 @@
+"""SLO-aware async serving: batching, admission control, fleet routing.
+
+This package is the serving layer the ROADMAP's throughput item asked
+for — the piece that turns the synchronous, one-caller-at-a-time
+:class:`~repro.pir.PirServer` into a system that can absorb heavy
+concurrent traffic:
+
+* :mod:`repro.serve.loop` — :class:`AsyncPirServer`, the asyncio
+  request loop: framed queries in, per-request futures out, with batch
+  aggregation under a latency SLO (flush on max-batch, arena-bytes
+  budget, or max-wait deadline) and bounded-queue admission control
+  (shed with :class:`PirServerOverloaded` past ``max_pending``).
+* :mod:`repro.serve.fleet` — :class:`FleetScheduler`, routing merged
+  batches across heterogeneous backends (e.g. a mixed V100 + A100
+  fleet) by predicted completion time from each backend's
+  :class:`~repro.exec.ExecutionPlan`.
+* :mod:`repro.serve.load` — :func:`generate_load`, the concurrent
+  client population that drives the loop in benches, tests, and the CI
+  serve-smoke session.
+
+The invariant everything above preserves: answers served through the
+aggregation loop are *bit-identical* to sequential
+``PirServer.handle`` for the same queries, across every backend and
+concurrency level (``tests/serve/``).
+"""
+
+from repro.serve.fleet import FleetScheduler, RoutingDecision
+from repro.serve.load import LoadReport, generate_load
+from repro.serve.loop import (
+    FLUSH_ARENA_BYTES,
+    FLUSH_DEADLINE,
+    FLUSH_DRAIN,
+    FLUSH_MAX_BATCH,
+    AdmissionConfig,
+    AsyncPirServer,
+    PirServerOverloaded,
+    ServingStats,
+    SloConfig,
+)
+
+__all__ = [
+    "AsyncPirServer",
+    "SloConfig",
+    "AdmissionConfig",
+    "ServingStats",
+    "PirServerOverloaded",
+    "FleetScheduler",
+    "RoutingDecision",
+    "LoadReport",
+    "generate_load",
+    "FLUSH_MAX_BATCH",
+    "FLUSH_ARENA_BYTES",
+    "FLUSH_DEADLINE",
+    "FLUSH_DRAIN",
+]

@@ -1,0 +1,117 @@
+"""Model-priced routing of merged batches across a backend fleet.
+
+A serving deployment rarely runs one device: the paper's scale-out
+story is a rack of (possibly mixed) GPUs, each wrapped in its own
+:class:`~repro.exec.ExecutionBackend`.  :class:`FleetScheduler` decides
+*which* backend a merged batch should run on, using the same
+performance model the per-device scheduler selects strategies with:
+every candidate backend prices the request through
+:meth:`~repro.exec.ExecutionBackend.plan` (which bottoms out in the
+memoized :meth:`repro.gpu.scheduler.Scheduler.latency_s` cost hook),
+and the router picks the backend with the earliest *predicted
+completion* — modeled queue drain plus the batch's modeled latency.
+
+The queue model is a virtual clock per backend: each routed batch adds
+its modeled latency to its backend's accumulated busy time, so a
+stream of equal batches round-robins a homogeneous fleet and loads a
+mixed V100 + A100 fleet proportionally to modeled speed.  Routing is a
+pure function of the request sequence — no wall clock, no randomness —
+so a replayed stream routes identically (pinned by
+``tests/serve/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exec.backend import ExecutionBackend
+from repro.exec.request import EvalRequest, EvalResult, ExecutionPlan
+
+
+def _backend_label(backend: ExecutionBackend, index: int) -> str:
+    """A stable human-readable name: device name(s) when available."""
+    device = getattr(backend, "device", None)
+    if device is not None:
+        return f"{index}:{device.name}"
+    devices = getattr(backend, "devices", None)
+    if devices:
+        return f"{index}:" + "+".join(d.name for d in devices)
+    return f"{index}:{backend.name}"
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one merged batch was sent and why.
+
+    Attributes:
+        backend_index: Position of the chosen backend in the fleet.
+        backend_label: Stable display name of the chosen backend.
+        plan: The chosen backend's :class:`ExecutionPlan` for the batch
+            (the latency that priced the decision).
+        predicted_start_s: Modeled queue-drain time on the chosen
+            backend when the batch was routed (virtual clock).
+        predicted_finish_s: ``predicted_start_s`` plus the plan's
+            modeled latency — what the router minimized.
+    """
+
+    backend_index: int
+    backend_label: str
+    plan: ExecutionPlan
+    predicted_start_s: float
+    predicted_finish_s: float
+
+
+class FleetScheduler:
+    """Routes requests across heterogeneous backends by predicted cost.
+
+    Args:
+        backends: Non-empty candidate pool.  Every backend must produce
+            bit-identical answers (all :mod:`repro.exec` backends do),
+            so routing affects modeled performance only — never
+            results.
+
+    Attributes:
+        route_counts: Batches routed to each backend so far, by index.
+    """
+
+    def __init__(self, backends: Sequence[ExecutionBackend]):
+        if not backends:
+            raise ValueError("need at least one backend")
+        self.backends = list(backends)
+        self.labels = [
+            _backend_label(backend, i) for i, backend in enumerate(self.backends)
+        ]
+        self.route_counts = [0] * len(self.backends)
+        self._busy_s = [0.0] * len(self.backends)
+
+    def route(self, request: EvalRequest) -> RoutingDecision:
+        """Pick the backend with the earliest predicted completion.
+
+        Every backend plans the request; the winner minimizes
+        ``virtual_busy + plan.latency_s``, ties broken by fleet order
+        (deterministic).  The winner's virtual clock advances by the
+        batch's modeled latency, which is what spreads a stream of
+        batches across the fleet instead of piling onto the single
+        fastest device.
+        """
+        plans = [backend.plan(request) for backend in self.backends]
+        finishes = [
+            self._busy_s[i] + plan.latency_s for i, plan in enumerate(plans)
+        ]
+        winner = min(range(len(plans)), key=lambda i: (finishes[i], i))
+        decision = RoutingDecision(
+            backend_index=winner,
+            backend_label=self.labels[winner],
+            plan=plans[winner],
+            predicted_start_s=self._busy_s[winner],
+            predicted_finish_s=finishes[winner],
+        )
+        self._busy_s[winner] = finishes[winner]
+        self.route_counts[winner] += 1
+        return decision
+
+    def dispatch(self, request: EvalRequest) -> tuple[EvalResult, RoutingDecision]:
+        """Route the request, then run it on the chosen backend."""
+        decision = self.route(request)
+        return self.backends[decision.backend_index].run(request), decision

@@ -1,0 +1,370 @@
+"""The SLO-aware async serving loop: aggregate, dispatch, demultiplex.
+
+This is the throughput engine the paper's serving claim rests on:
+GPU PIR is fast *because* many concurrent clients' DPF keys run as one
+fused expansion, so a server must aggregate live traffic into
+kernel-sized batches without blowing each caller's latency budget.
+:class:`AsyncPirServer` wraps one :class:`~repro.pir.PirServer` in an
+asyncio request loop that does exactly that:
+
+* **Submission** — :meth:`AsyncPirServer.submit` takes one framed
+  :class:`~repro.pir.wire.PirQuery` buffer, validates it end to end
+  (malformed, mismatched, or oversized queries fail *synchronously*,
+  before entering the queue), applies admission control, enqueues the
+  validated request, and awaits a per-request future.
+* **Aggregation** — a background task merges pending requests into one
+  fused :class:`~repro.exec.EvalRequest` and flushes when any SLO
+  trigger fires: the batch reached ``max_batch`` queries, the pending
+  key material reached ``max_arena_bytes``, or the *oldest* request's
+  ``max_wait_s`` deadline arrived.
+* **Dispatch** — the merged batch runs on the wrapped server's backend
+  or, when a :class:`~repro.serve.fleet.FleetScheduler` is attached, on
+  whichever fleet backend the model predicts finishes earliest.
+* **Demultiplexing** — the merged ``(B, L)`` share matrix is combined
+  against the table *once* and the ``(B,)`` answer vector sliced back
+  per request; each caller's future resolves to its own framed
+  :class:`~repro.pir.wire.PirReply`, bit-identical to what a
+  sequential ``PirServer.handle`` call would have produced.
+
+Admission control is a bounded queue: past ``max_pending`` queued
+queries the submitter gets :class:`PirServerOverloaded` immediately
+(shed-with-error) instead of unbounded queueing — under overload,
+shedding keeps the latency of admitted requests bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exec.request import EvalRequest
+from repro.pir.server import PirServer
+from repro.pir.wire import PirQuery, PirReply
+from repro.serve.fleet import FleetScheduler
+
+FLUSH_MAX_BATCH = "max_batch"
+"""Flush reason: the pending queue reached ``max_batch`` queries."""
+
+FLUSH_ARENA_BYTES = "arena_bytes"
+"""Flush reason: pending key material reached ``max_arena_bytes``."""
+
+FLUSH_DEADLINE = "deadline"
+"""Flush reason: the oldest request's ``max_wait_s`` deadline arrived."""
+
+FLUSH_DRAIN = "drain"
+"""Flush reason: the loop is stopping and drained its queue."""
+
+
+class PirServerOverloaded(RuntimeError):
+    """The bounded queue is full; the query was shed, not served.
+
+    Raised to the submitter *synchronously* so a client can back off or
+    retry elsewhere — under overload an immediate error is kinder than
+    an unbounded queue whose tail latency grows without limit.
+    """
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """The serving loop's latency/batching knobs.
+
+    Attributes:
+        max_batch: Flush once this many queries are pending; also the
+            cap on queries fused into one merged batch (a flush takes
+            whole requests until adding the next would exceed it).
+        max_wait_s: Deadline trigger — no admitted query waits longer
+            than this for its batch to *start*, however light the
+            traffic.  This is the knob that trades latency (small
+            values) against fused-batch size (large values).
+        max_arena_bytes: Optional key-material budget — flush once the
+            pending arenas reach this many bytes, and cap each merged
+            batch's arena footprint (its device-upload cost) at the
+            same budget (a single over-budget request still flushes,
+            alone).  ``None`` disables both.
+    """
+
+    max_batch: int = 64
+    max_wait_s: float = 2e-3
+    max_arena_bytes: int | None = None
+
+    def __post_init__(self):
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.max_arena_bytes is not None and self.max_arena_bytes <= 0:
+            raise ValueError(
+                f"max_arena_bytes must be positive or None, got {self.max_arena_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Backpressure policy for the bounded request queue.
+
+    Attributes:
+        max_pending: Maximum queries (keys, not requests) queued at
+            once; a submission that would exceed it is shed with
+            :class:`PirServerOverloaded`.
+    """
+
+    max_pending: int = 1024
+
+    def __post_init__(self):
+        if self.max_pending <= 0:
+            raise ValueError(f"max_pending must be positive, got {self.max_pending}")
+
+
+@dataclass
+class ServingStats:
+    """Observable counters for one serving loop's lifetime.
+
+    Attributes:
+        submitted: Queries admitted into the queue.
+        answered: Queries whose reply future resolved successfully.
+        shed: Queries rejected by admission control.
+        batches: Merged batches dispatched.
+        largest_batch: Most queries fused into one dispatched batch.
+        flushes: Dispatch counts keyed by flush reason
+            (:data:`FLUSH_MAX_BATCH` / :data:`FLUSH_ARENA_BYTES` /
+            :data:`FLUSH_DEADLINE` / :data:`FLUSH_DRAIN`).
+        routes: Dispatch counts keyed by fleet backend label (only
+            populated when a fleet scheduler is attached).
+    """
+
+    submitted: int = 0
+    answered: int = 0
+    shed: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    flushes: dict[str, int] = field(default_factory=dict)
+    routes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch(self) -> float:
+        """Average fused-batch size — the aggregation win in one number."""
+        return self.answered / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Pending:
+    """One admitted query awaiting its batch."""
+
+    query: PirQuery
+    request: EvalRequest
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class AsyncPirServer:
+    """Async batch-aggregation front end for one :class:`PirServer`.
+
+    Args:
+        server: The wrapped server (table, PRF, backend, residency).
+        slo: Batching/latency knobs; see :class:`SloConfig`.
+        admission: Bounded-queue policy; see :class:`AdmissionConfig`.
+        fleet: Optional :class:`FleetScheduler`; when given, merged
+            batches are routed across its backends by predicted cost
+            instead of running on ``server.backend``.
+        clock: Monotonic time source (injectable for tests).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly::
+
+        async with AsyncPirServer(server) as loop:
+            reply = await loop.submit(query_bytes)
+    """
+
+    def __init__(
+        self,
+        server: PirServer,
+        slo: SloConfig | None = None,
+        admission: AdmissionConfig | None = None,
+        fleet: FleetScheduler | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.server = server
+        self.slo = slo if slo is not None else SloConfig()
+        self.admission = admission if admission is not None else AdmissionConfig()
+        self.fleet = fleet
+        self.stats = ServingStats()
+        self._clock = clock
+        self._pending: deque[_Pending] = deque()
+        self._pending_queries = 0
+        self._pending_arena_bytes = 0
+        self._wake: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the background aggregation task (idempotent)."""
+        if self._task is not None:
+            return
+        self._stopping = False
+        self._wake = asyncio.Event()
+        self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain the queue, flush the final batch, stop the task."""
+        if self._task is None:
+            return
+        self._stopping = True
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    async def __aenter__(self) -> "AsyncPirServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- submission ----------------------------------------------------
+
+    @property
+    def pending_queries(self) -> int:
+        """Queries currently queued (the admission-controlled quantity)."""
+        return self._pending_queries
+
+    async def submit(self, request_bytes: bytes) -> bytes:
+        """Serve one framed query through the aggregation loop.
+
+        Returns the framed reply, bit-identical to what a sequential
+        ``server.handle(request_bytes)`` call would produce.
+
+        Submitting before :meth:`start` is legal — the query queues and
+        is answered by the first flush after the loop starts (tests use
+        this to build deterministic backlogs).  Submitting after (or
+        racing with) :meth:`stop` raises instead of enqueueing a query
+        no flush would ever answer.
+
+        Admission is checked on the frame header *before* key
+        ingestion, so shedding stays O(header) under overload — the
+        regime it exists for.  (A query that is both shed-worthy and
+        malformed therefore sheds rather than reporting its bad keys.)
+
+        Raises:
+            ValueError: Synchronously, on a malformed/mismatched/
+                oversized query (never enters the queue).
+            PirServerOverloaded: Synchronously, when admission control
+                sheds the query (bounded queue full).
+            RuntimeError: Synchronously, when the loop is stopped.
+        """
+        if self._stopping:
+            raise RuntimeError("serving loop is stopped; no flush would answer this")
+        query = PirQuery.from_bytes(request_bytes)
+        if self._pending_queries + query.count > self.admission.max_pending:
+            self.stats.shed += query.count
+            raise PirServerOverloaded(
+                f"queue holds {self._pending_queries} queries; admitting "
+                f"{query.count} more would exceed max_pending="
+                f"{self.admission.max_pending}"
+            )
+        request = self.server.ingest_query(query)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(_Pending(query, request, future, self._clock()))
+        self._pending_queries += query.count
+        self._pending_arena_bytes += request.arena().nbytes
+        self.stats.submitted += query.count
+        if self._wake is not None:
+            self._wake.set()
+        return await future
+
+    # -- aggregation ---------------------------------------------------
+
+    def _flush_reason(self) -> str | None:
+        """The SLO trigger that fires *now*, or None to keep waiting."""
+        if not self._pending:
+            return None
+        if self._pending_queries >= self.slo.max_batch:
+            return FLUSH_MAX_BATCH
+        if (
+            self.slo.max_arena_bytes is not None
+            and self._pending_arena_bytes >= self.slo.max_arena_bytes
+        ):
+            return FLUSH_ARENA_BYTES
+        age = self._clock() - self._pending[0].enqueued_at
+        if age >= self.slo.max_wait_s:
+            return FLUSH_DEADLINE
+        return None
+
+    async def _run(self) -> None:
+        while not self._stopping:
+            reason = self._flush_reason()
+            if reason is not None:
+                self._flush(reason)
+                continue
+            self._wake.clear()
+            timeout = None
+            if self._pending:
+                deadline = self._pending[0].enqueued_at + self.slo.max_wait_s
+                timeout = max(0.0, deadline - self._clock())
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        while self._pending:
+            self._flush(FLUSH_DRAIN)
+
+    def _take_batch(self) -> list[_Pending]:
+        """Pop whole requests until adding the next would exceed
+        ``max_batch`` queries or the ``max_arena_bytes`` budget (always
+        at least one, so a single request larger than either cap —
+        legal unless the server caps it — still flushes alone)."""
+        taken = []
+        count = 0
+        taken_bytes = 0
+        budget = self.slo.max_arena_bytes
+        while self._pending:
+            nxt = self._pending[0]
+            nxt_bytes = nxt.request.arena().nbytes
+            if taken and (
+                count + nxt.query.count > self.slo.max_batch
+                or (budget is not None and taken_bytes + nxt_bytes > budget)
+            ):
+                break
+            taken.append(self._pending.popleft())
+            count += nxt.query.count
+            taken_bytes += nxt_bytes
+            self._pending_arena_bytes -= nxt_bytes
+        self._pending_queries -= count
+        return taken
+
+    def _flush(self, reason: str) -> None:
+        taken = self._take_batch()
+        try:
+            merged, sizes = EvalRequest.merge([p.request for p in taken])
+            if self.fleet is not None:
+                result, decision = self.fleet.dispatch(merged)
+                self.stats.routes[decision.backend_label] = (
+                    self.stats.routes.get(decision.backend_label, 0) + 1
+                )
+            else:
+                result = self.server.backend.run(merged)
+            # One combine for the whole fused batch, then per-request
+            # slicing — the demux is row offsets, nothing recomputed.
+            answers = self.server.combine(result.answers)
+        except Exception as exc:  # pragma: no cover - backend failure path
+            for pending in taken:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, int(answers.size))
+        self.stats.flushes[reason] = self.stats.flushes.get(reason, 0) + 1
+        offset = 0
+        for pending, size in zip(taken, sizes):
+            reply = PirReply(
+                request_id=pending.query.request_id,
+                answers=answers[offset : offset + size],
+            ).to_bytes()
+            offset += size
+            self.stats.answered += size
+            if not pending.future.done():
+                pending.future.set_result(reply)

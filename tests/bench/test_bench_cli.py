@@ -41,9 +41,18 @@ class TestFilter:
         assert cases
         assert all(c.log_domain == 6 for c in cases)
 
-    def test_no_match_returns_failure_exit_code(self, bench_cli, capsys):
-        assert bench_cli.main(["--filter", "no-such-case-anywhere"]) == 1
+    def test_no_match_exits_2_and_writes_nothing(self, bench_cli, tmp_path, capsys):
+        """A typo'd filter must be a loud usage error (exit 2), never a
+        silently-written empty run."""
+        out = tmp_path / "must_not_exist.json"
+        assert (
+            bench_cli.main(
+                ["--filter", "no-such-case-anywhere", "--out", str(out)]
+            )
+            == 2
+        )
         assert "no cases match" in capsys.readouterr().err
+        assert not out.exists()
 
 
 class TestList:
@@ -54,6 +63,13 @@ class TestList:
         assert "pir_roundtrip" in printed
         assert "cases selected" in printed
         assert not out.exists()
+
+    def test_filter_selects_the_serving_family(self, bench_cli):
+        cases = bench_cli.select_cases(bench_cli._parse_args(["--filter", "serving"]))
+        assert cases
+        assert all(c.strategy == "serving" for c in cases)
+        assert {c.offered_qps for c in cases} == {0.0, 512.0}
+        assert {c.slo_ms for c in cases} == {1.0, 8.0}
 
     def test_list_composes_with_filter(self, bench_cli, capsys):
         assert bench_cli.main(["--list", "--filter", "ingest"]) == 0

@@ -20,6 +20,7 @@ from repro.bench.harness import (
     PIR_ROUNDTRIP,
     REFERENCE,
     SCHEMA_VERSION,
+    SERVING,
     _reference_blocks,
 )
 from repro.gpu import available_strategies
@@ -62,13 +63,15 @@ class TestGrids:
             for c in cases
         )
         # Every arena case has a same-shape objects twin to compare to.
+        # (Serving sessions are exempt: the aggregation loop speaks the
+        # framed wire protocol only, so no objects twin exists.)
         base = {
             (c.prf, c.strategy, c.batch, c.log_domain)
             for c in cases
             if c.ingest == "objects"
         }
         for case in cases:
-            if case.ingest != "objects":
+            if case.ingest != "objects" and case.strategy != SERVING:
                 assert (case.prf, case.strategy, case.batch, case.log_domain) in base
 
     def test_default_grid_honors_axis_restrictions(self):
@@ -129,6 +132,51 @@ class TestPirRoundtripFamily:
             run_case(
                 BenchCase("siphash", PIR_ROUNDTRIP, 1, 4, ingest="bogus", repeats=1)
             )
+
+
+class TestServingFamily:
+    def test_smoke_grid_includes_a_serving_session(self):
+        serving = [c for c in smoke_grid() if c.strategy == SERVING]
+        assert serving
+        assert all(c.slo_ms > 0 for c in serving)
+
+    def test_default_grid_sweeps_load_and_slo(self):
+        serving = [c for c in default_grid() if c.strategy == SERVING]
+        assert {(c.offered_qps, c.slo_ms) for c in serving} == {
+            (0.0, 1.0),
+            (0.0, 8.0),
+            (512.0, 1.0),
+            (512.0, 8.0),
+        }
+
+    def test_family_honors_strategy_restriction(self):
+        assert not any(
+            c.strategy == SERVING for c in default_grid(strategies=["memory_bounded"])
+        )
+        only_serving = default_grid(prfs=["chacha20"], strategies=[SERVING])
+        assert only_serving
+        assert all(c.strategy == SERVING for c in only_serving)
+
+    def test_serving_case_measures_verifies_and_reports_percentiles(self):
+        case = BenchCase(
+            "siphash", SERVING, 6, 5, ingest="wire", repeats=1, warmup=0, slo_ms=2.0
+        )
+        result = run_case(case)
+        assert result.verified
+        assert result.qps > 0 and result.seconds > 0
+        assert result.p99_ms >= result.p50_ms > 0
+        assert result.slo_ms == 2.0 and result.offered_qps == 0.0
+        assert result.prf_blocks == 0 and result.peak_mem_bytes == 0
+
+    def test_serving_case_requires_a_deadline(self):
+        with pytest.raises(ValueError, match="slo_ms"):
+            run_case(BenchCase("siphash", SERVING, 2, 4, repeats=1))
+
+    def test_describe_carries_load_and_slo(self):
+        burst = BenchCase("aes128", SERVING, 8, 10, slo_ms=1.0)
+        paced = BenchCase("aes128", SERVING, 8, 10, offered_qps=512.0, slo_ms=8.0)
+        assert "load=burst" in burst.describe() and "slo=1ms" in burst.describe()
+        assert "load=512" in paced.describe() and "slo=8ms" in paced.describe()
 
 
 class TestDescribe:

@@ -22,15 +22,11 @@ from repro.exec import (
 )
 from repro.gpu import KeyArena, V100, get_strategy
 
+from tests.strategies import BACKEND_FACTORIES
+
 PRF_NAME = "chacha20"
 DOMAIN = 200
 BATCH = 5
-
-BACKEND_FACTORIES = {
-    "single_gpu": lambda: SingleGpuBackend(),
-    "multi_gpu": lambda: MultiGpuBackend([V100, V100]),
-    "simulated": lambda: SimulatedBackend(),
-}
 
 
 def _make_keys(batch=BATCH, domain=DOMAIN, seed=5):

@@ -1,0 +1,141 @@
+"""Batch merge and per-request demux on the execution layer.
+
+`EvalRequest.merge` fuses many requests into one kernel-sized batch and
+`EvalResult.split` slices the answers back; together they must be a
+lossless round trip — running the merged request yields exactly the
+per-request answer rows, bit for bit, on every backend.  `KeyArena
+.concat` underneath must agree with stacking the combined key list
+directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import get_prf
+from repro.dpf import gen
+from repro.exec import EvalRequest, SingleGpuBackend
+from repro.gpu import KeyArena
+
+from tests.strategies import BACKEND_FACTORIES
+
+
+def _keys(batch, domain=32, prf="siphash", seed=0, party=0):
+    prf_obj = get_prf(prf)
+    rng = np.random.default_rng(seed)
+    return [
+        gen(int(rng.integers(0, domain)), domain, prf_obj, rng, beta=i + 1)[party]
+        for i in range(batch)
+    ]
+
+
+class TestMergeRun:
+    @pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+    def test_merged_run_equals_individual_runs(self, backend_name):
+        backend = BACKEND_FACTORIES[backend_name]()
+        requests = [
+            EvalRequest(keys=_keys(batch, seed=batch), prf_name="siphash")
+            for batch in (1, 3, 2)
+        ]
+        individual = [backend.run(r).answers for r in requests]
+        merged, sizes = EvalRequest.merge(requests)
+        assert sizes == (1, 3, 2)
+        result = backend.run(merged)
+        assert result.batch_size == 6
+        for got, want in zip(result.split(sizes), individual):
+            assert np.array_equal(got, want)
+
+    def test_merge_takes_the_tightest_slo(self):
+        requests = [
+            EvalRequest(keys=_keys(1, seed=s), prf_name="siphash", slo_latency_s=slo)
+            for s, slo in ((0, 0.5), (1, None), (2, 0.125))
+        ]
+        merged, _ = EvalRequest.merge(requests)
+        assert merged.slo_latency_s == 0.125
+        no_slo, _ = EvalRequest.merge(
+            [EvalRequest(keys=_keys(1), prf_name="siphash")]
+        )
+        assert no_slo.slo_latency_s is None
+
+    def test_merge_preserves_residency_and_entry_bytes(self):
+        requests = [
+            EvalRequest(keys=_keys(2, seed=s), resident=True, entry_bytes=16)
+            for s in (0, 1)
+        ]
+        merged, sizes = EvalRequest.merge(requests)
+        assert merged.resident and merged.entry_bytes == 16
+        assert sizes == (2, 2)
+
+    def test_merge_rejects_mismatched_settings(self):
+        base = EvalRequest(keys=_keys(1, seed=0))
+        with pytest.raises(ValueError, match="entry_bytes"):
+            EvalRequest.merge([base, EvalRequest(keys=_keys(1, seed=1), entry_bytes=4)])
+        with pytest.raises(ValueError, match="resident"):
+            EvalRequest.merge([base, EvalRequest(keys=_keys(1, seed=1), resident=True)])
+        with pytest.raises(ValueError, match="PRF"):
+            EvalRequest.merge(
+                [base, EvalRequest(keys=_keys(1, seed=1, prf="chacha20"))]
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            EvalRequest.merge([])
+
+    def test_merge_rejects_mixed_domains(self):
+        with pytest.raises(ValueError, match="domain"):
+            EvalRequest.merge(
+                [
+                    EvalRequest(keys=_keys(1, domain=32)),
+                    EvalRequest(keys=_keys(1, domain=64)),
+                ]
+            )
+
+
+class TestSplit:
+    def test_split_is_zero_copy_and_ordered(self):
+        backend = SingleGpuBackend()
+        merged, sizes = EvalRequest.merge(
+            [EvalRequest(keys=_keys(b, seed=b), prf_name="siphash") for b in (2, 3)]
+        )
+        result = backend.run(merged)
+        views = result.split(sizes)
+        assert [v.shape[0] for v in views] == [2, 3]
+        for view in views:
+            assert view.base is not None  # views, not copies
+
+    def test_split_validates_sizes(self):
+        result = SingleGpuBackend().run(EvalRequest(keys=_keys(4)))
+        with pytest.raises(ValueError, match="sum to 3"):
+            result.split((1, 2))
+        with pytest.raises(ValueError, match="positive"):
+            result.split((4, 0))
+        with pytest.raises(ValueError, match="at least one"):
+            result.split(())
+
+
+class TestArenaConcat:
+    def test_concat_equals_stacking_the_combined_list(self):
+        keys_a, keys_b = _keys(3, seed=1), _keys(2, seed=2)
+        merged = KeyArena.concat(
+            [KeyArena.from_keys(keys_a), KeyArena.from_keys(keys_b)]
+        )
+        assert merged == KeyArena.from_keys(keys_a + keys_b)
+
+    def test_concat_single_arena_is_identity(self):
+        arena = KeyArena.from_keys(_keys(2))
+        assert KeyArena.concat([arena]) is arena
+
+    def test_concat_rejects_heterogeneous_batches(self):
+        with pytest.raises(ValueError, match="domain"):
+            KeyArena.concat(
+                [
+                    KeyArena.from_keys(_keys(1, domain=32)),
+                    KeyArena.from_keys(_keys(1, domain=64)),
+                ]
+            )
+        with pytest.raises(ValueError, match="PRF"):
+            KeyArena.concat(
+                [
+                    KeyArena.from_keys(_keys(1)),
+                    KeyArena.from_keys(_keys(1, prf="chacha20")),
+                ]
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            KeyArena.concat([])

@@ -15,17 +15,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exec import MultiGpuBackend, SimulatedBackend, SingleGpuBackend
-from repro.gpu import V100
 from repro.pir import PirClient, PirServer
 
-from tests.strategies import domain_sizes, fast_prf_names
-
-BACKEND_FACTORIES = {
-    "single_gpu": lambda: SingleGpuBackend(),
-    "multi_gpu": lambda: MultiGpuBackend([V100, V100]),
-    "simulated": lambda: SimulatedBackend(),
-}
+from tests.strategies import BACKEND_FACTORIES, domain_sizes, fast_prf_names
 
 ROUNDTRIP_SETTINGS = settings(max_examples=10, deadline=None)
 """Fewer examples than STANDARD_SETTINGS: each example runs two full
@@ -138,6 +130,40 @@ class TestRoundTripExamples:
             client.reconstruct(
                 first, reply_for_second, servers[1].handle(first.requests[1])
             )
+
+
+class TestQueryMany:
+    """The load generator's convenience: N requests in one call."""
+
+    def test_one_request_per_index_by_default(self):
+        client = PirClient(64, "siphash", rng=np.random.default_rng(3))
+        batches = client.query_many([1, 5, 9])
+        assert [b.indices for b in batches] == [(1,), (5,), (9,)]
+        assert len({b.request_id for b in batches}) == 3
+
+    def test_grouping_keeps_order_and_remainder(self):
+        client = PirClient(64, "siphash", rng=np.random.default_rng(3))
+        batches = client.query_many([1, 5, 9, 2, 7], queries_per_request=2)
+        assert [b.indices for b in batches] == [(1, 5), (9, 2), (7,)]
+
+    def test_each_request_round_trips_independently(self):
+        table = np.arange(40, dtype=np.uint64) * np.uint64(11)
+        servers = [PirServer(table, prf_name="siphash") for _ in range(2)]
+        client = PirClient(40, "siphash", rng=np.random.default_rng(4))
+        for batch in client.query_many([0, 39, 17]):
+            got = client.reconstruct(
+                batch,
+                servers[0].handle(batch.requests[0]),
+                servers[1].handle(batch.requests[1]),
+            )
+            assert np.array_equal(got, table[np.array(batch.indices)])
+
+    def test_rejects_empty_and_bad_grouping(self):
+        client = PirClient(8, "siphash")
+        with pytest.raises(ValueError, match="at least one"):
+            client.query_many([])
+        with pytest.raises(ValueError, match="queries_per_request"):
+            client.query_many([1], queries_per_request=0)
 
 
 class TestServerValidation:

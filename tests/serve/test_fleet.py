@@ -1,0 +1,140 @@
+"""Fleet routing: deterministic, model-priced, and answer-preserving.
+
+The router must be a pure function of the request sequence (replays
+route identically), must spread equal batches across equal devices,
+must prefer the modeled-faster device from a cold start, and must never
+affect answers — only which backend computes them.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.dpf import gen
+from repro.crypto import get_prf
+from repro.exec import EvalRequest, SingleGpuBackend
+from repro.gpu import Scheduler
+from repro.gpu.device import A100, V100
+from repro.pir import PirClient, PirServer
+from repro.serve import AsyncPirServer, FleetScheduler, SloConfig
+
+
+def _request(batch=4, domain=64, prf="siphash", seed=0):
+    prf_obj = get_prf(prf)
+    rng = np.random.default_rng(seed)
+    keys = [
+        gen(int(rng.integers(0, domain)), domain, prf_obj, rng, beta=1)[0]
+        for _ in range(batch)
+    ]
+    return EvalRequest(keys=keys, prf_name=prf)
+
+
+def _mixed_fleet():
+    return FleetScheduler([SingleGpuBackend(V100), SingleGpuBackend(A100)])
+
+
+class TestRoutingDeterminism:
+    def test_replayed_stream_routes_identically(self):
+        stream = [_request(batch=b, seed=b) for b in (1, 4, 2, 4, 8, 1, 4, 4)]
+        fleet_a, fleet_b = _mixed_fleet(), _mixed_fleet()
+        decisions_a = [fleet_a.route(r) for r in stream]
+        decisions_b = [fleet_b.route(r) for r in stream]
+        assert [d.backend_index for d in decisions_a] == [
+            d.backend_index for d in decisions_b
+        ]
+        assert [d.predicted_finish_s for d in decisions_a] == [
+            d.predicted_finish_s for d in decisions_b
+        ]
+        assert fleet_a.route_counts == fleet_b.route_counts
+
+    def test_homogeneous_fleet_alternates_by_tie_break(self):
+        """Equal devices, equal batches: 0, 1, 0, 1, ... exactly."""
+        fleet = FleetScheduler([SingleGpuBackend(V100), SingleGpuBackend(V100)])
+        picks = [fleet.route(_request(seed=i)).backend_index for i in range(6)]
+        assert picks == [0, 1, 0, 1, 0, 1]
+
+    def test_cold_mixed_fleet_prefers_the_faster_model(self):
+        """First batch goes to the A100 (higher modeled rate)."""
+        fleet = _mixed_fleet()
+        first = fleet.route(_request())
+        assert "A100" in first.backend_label
+        assert first.predicted_start_s == 0.0
+
+    def test_mixed_fleet_loads_proportionally(self):
+        """Over a stream of equal compute-dominant batches, both
+        devices serve, and the A100 serves more."""
+        fleet = _mixed_fleet()
+        for i in range(10):
+            # Large-enough domain that modeled compute (where the A100
+            # leads) dominates the launch overheads (where it doesn't).
+            fleet.route(_request(batch=8, domain=1 << 14, prf="aes128", seed=i))
+        v100_count, a100_count = fleet.route_counts
+        assert v100_count > 0
+        assert a100_count > v100_count
+
+    def test_virtual_clock_accumulates(self):
+        """Routing the same backend twice stacks its modeled latency."""
+        fleet = FleetScheduler([SingleGpuBackend(V100)])
+        first = fleet.route(_request())
+        second = fleet.route(_request())
+        assert first.predicted_start_s == 0.0
+        assert second.predicted_start_s == first.predicted_finish_s
+        assert second.predicted_finish_s > first.predicted_finish_s
+
+
+class TestDispatch:
+    def test_dispatch_answers_match_direct_run(self):
+        request = _request(batch=3, seed=42)
+        direct = SingleGpuBackend(V100).run(
+            EvalRequest(keys=request.keys, prf_name="siphash")
+        )
+        result, decision = _mixed_fleet().dispatch(request)
+        assert np.array_equal(result.answers, direct.answers)
+        assert decision.plan.latency_s > 0
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetScheduler([])
+
+    def test_serving_through_a_fleet_is_bit_identical(self):
+        """The loop with a fleet attached still equals sequential
+        handling — routing moves work, never changes it."""
+        rng = np.random.default_rng(17)
+        table = rng.integers(0, 1 << 64, size=64, dtype=np.uint64)
+        server = PirServer(table, prf_name="siphash")
+        client = PirClient(64, "siphash", rng=np.random.default_rng(18))
+        frames = [b.requests[0] for b in client.query_many(list(range(9)))]
+        sequential = [server.handle(f) for f in frames]
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=3, max_wait_s=0.02),
+                fleet=_mixed_fleet(),
+            )
+            async with loop:
+                return loop, await asyncio.gather(
+                    *[loop.submit(f) for f in frames]
+                )
+
+        loop, got = asyncio.run(run())
+        assert got == sequential
+        assert sum(loop.stats.routes.values()) == loop.stats.batches
+
+
+class TestSchedulerCostHook:
+    def test_latency_s_is_the_winning_plans_latency(self):
+        scheduler = Scheduler(V100)
+        for batch, table in ((1, 1 << 10), (64, 1 << 14), (256, 1 << 16)):
+            selection = scheduler.select(batch, table)
+            assert scheduler.latency_s(batch, table) == selection.stats.latency_s > 0
+
+    def test_single_gpu_plan_prices_through_the_hook(self):
+        """A backend's plan latency IS the scheduler hook's number, so
+        the fleet router and the strategy scheduler share one model."""
+        request = _request(batch=8, domain=128)
+        backend = SingleGpuBackend(A100)
+        plan = backend.plan(request)
+        hook = Scheduler(A100).latency_s(8, 128, prf_name="siphash")
+        assert plan.latency_s == hook

@@ -1,0 +1,184 @@
+"""The serving loop's headline property: aggregation changes nothing.
+
+Answers served through the async batch-aggregation loop must be
+*bit-identical* to sequential ``PirServer.handle`` for the same
+queries — per reply frame, byte for byte — across every backend, at
+every concurrency level, under whatever batch fusion the SLO knobs
+produce.  The property draws random tables, indices, and flush
+configurations, so single-query batches, partially fused batches, and
+fully fused batches are all exercised against the same oracle.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pir import PirClient, PirServer
+from repro.serve import AsyncPirServer, SloConfig, generate_load
+
+from tests.strategies import BACKEND_FACTORIES, domain_sizes, fast_prf_names
+
+CONCURRENCY_LEVELS = (2, 5, 9)
+"""Concurrent client counts for the equivalence property (>= 3 levels
+per the serving-loop acceptance criteria)."""
+
+SERVE_SETTINGS = settings(max_examples=5, deadline=None)
+"""Each example runs a full asyncio serving session per (backend,
+concurrency) cell on top of two sequential oracle evaluations, so the
+cube stays affordable with few examples per cell."""
+
+
+@st.composite
+def serve_cases(draw):
+    domain = draw(domain_sizes(max_size=64))
+    return {
+        "domain": domain,
+        "prf": draw(fast_prf_names),
+        "table_seed": draw(st.integers(0, 2**32 - 1)),
+        "key_seed": draw(st.integers(0, 2**32 - 1)),
+        # Drawn so flushes happen on max_batch sometimes and on the
+        # deadline otherwise; equivalence must hold either way.
+        "max_batch": draw(st.sampled_from((1, 2, 64))),
+        "resident": draw(st.booleans()),
+    }
+
+
+def _serve_concurrently(server, frames, slo):
+    """All frames submitted at once through one aggregation loop."""
+
+    async def run():
+        loop = AsyncPirServer(server, slo=slo)
+        async with loop:
+            return await asyncio.gather(*[loop.submit(f) for f in frames])
+
+    return asyncio.run(run())
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+@pytest.mark.parametrize("concurrency", CONCURRENCY_LEVELS)
+class TestAsyncMatchesSequential:
+    @given(case=serve_cases())
+    @SERVE_SETTINGS
+    def test_demuxed_replies_are_bit_identical(
+        self, backend_name, concurrency, case
+    ):
+        rng = np.random.default_rng(case["table_seed"])
+        table = rng.integers(0, 1 << 64, size=case["domain"], dtype=np.uint64)
+        server = PirServer(
+            table,
+            backend=BACKEND_FACTORIES[backend_name](),
+            prf_name=case["prf"],
+            resident=case["resident"],
+        )
+        client = PirClient(
+            case["domain"], case["prf"], rng=np.random.default_rng(case["key_seed"])
+        )
+        indices = rng.integers(0, case["domain"], size=concurrency).tolist()
+        frames = [
+            batch.requests[0] for batch in client.query_many(indices)
+        ]
+
+        sequential = [server.handle(frame) for frame in frames]
+        slo = SloConfig(max_batch=case["max_batch"], max_wait_s=0.02)
+        concurrent = _serve_concurrently(server, frames, slo)
+
+        assert concurrent == sequential  # whole reply frames, byte for byte
+
+
+class TestEndToEndReconstruction:
+    @pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+    def test_two_party_load_reconstructs_the_table(self, backend_name):
+        """Full protocol through two loops: every answer is the row."""
+        rng = np.random.default_rng(5)
+        table = rng.integers(0, 1 << 64, size=100, dtype=np.uint64)
+        indices = rng.integers(0, 100, size=12).tolist()
+        client = PirClient(100, "siphash", rng=np.random.default_rng(6))
+
+        async def run():
+            loops = [
+                AsyncPirServer(
+                    PirServer(
+                        table,
+                        backend=BACKEND_FACTORIES[backend_name](),
+                        prf_name="siphash",
+                    ),
+                    slo=SloConfig(max_batch=4, max_wait_s=0.005),
+                )
+                for _ in range(2)
+            ]
+            async with loops[0], loops[1]:
+                report = await generate_load(client, loops, indices)
+            return report, loops
+
+        report, loops = asyncio.run(run())
+        assert report.shed == 0
+        assert np.array_equal(report.answers, table[np.array(report.indices)])
+        # The loop actually aggregated: fewer dispatches than queries.
+        assert loops[0].stats.batches < len(indices)
+        assert loops[0].stats.largest_batch > 1
+
+    def test_load_report_counts_queries_not_requests(self):
+        """`answered` and `shed` share the query unit, so they always
+        sum to what was offered."""
+        rng = np.random.default_rng(21)
+        table = rng.integers(0, 1 << 64, size=32, dtype=np.uint64)
+        client = PirClient(32, "siphash", rng=np.random.default_rng(22))
+        indices = rng.integers(0, 32, size=8).tolist()
+
+        async def run():
+            loops = [
+                AsyncPirServer(
+                    PirServer(table, prf_name="siphash"),
+                    slo=SloConfig(max_batch=4, max_wait_s=0.005),
+                )
+                for _ in range(2)
+            ]
+            async with loops[0], loops[1]:
+                return await generate_load(
+                    client, loops, indices, queries_per_request=2
+                )
+
+        report = asyncio.run(run())
+        assert report.shed == 0
+        assert report.answered == 8  # queries, not the 4 requests
+        assert report.answered_requests == 4
+        assert len(report.latencies_s) == 4
+        assert np.array_equal(report.answers, table[np.array(report.indices)])
+
+    def test_multi_query_requests_demux_in_order(self):
+        """Requests of different sizes fuse and slice back correctly."""
+        rng = np.random.default_rng(8)
+        table = rng.integers(0, 1 << 64, size=50, dtype=np.uint64)
+        server = PirServer(table, prf_name="siphash")
+        client = PirClient(50, "siphash", rng=np.random.default_rng(9))
+        batches = [client.query([1, 2, 3]), client.query([40]), client.query([7, 7])]
+        frames = [b.requests[0] for b in batches]
+        sequential = [server.handle(f) for f in frames]
+        got = _serve_concurrently(
+            server, frames, SloConfig(max_batch=64, max_wait_s=0.01)
+        )
+        assert got == sequential
+
+
+class TestSubmitValidation:
+    def test_malformed_frames_fail_synchronously(self):
+        """Bad queries raise at submit and never enter the queue."""
+        table = np.arange(16, dtype=np.uint64)
+        server = PirServer(table, prf_name="siphash")
+        client = PirClient(32, "siphash", rng=np.random.default_rng(3))
+        mismatched = client.query([1]).requests[0]
+
+        async def run():
+            loop = AsyncPirServer(server)
+            async with loop:
+                with pytest.raises(ValueError, match="truncated"):
+                    await loop.submit(b"nonsense")
+                with pytest.raises(ValueError, match="table has 16"):
+                    await loop.submit(mismatched)
+                assert loop.pending_queries == 0
+            assert loop.stats.submitted == 0
+
+        asyncio.run(run())

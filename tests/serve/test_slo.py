@@ -1,0 +1,302 @@
+"""SLO triggers, admission control, and drain behavior.
+
+Each flush trigger — max-batch, arena-bytes budget, max-wait deadline —
+gets a test constructed so *only* that trigger can fire (the others are
+parked at unreachable values), asserted through the loop's observable
+flush-reason counters.  Backpressure tests build deterministic
+backlogs by submitting before the aggregation task starts, so shedding
+is exact, not racy.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.pir import PirClient, PirServer
+from repro.serve import (
+    FLUSH_ARENA_BYTES,
+    FLUSH_DEADLINE,
+    FLUSH_DRAIN,
+    FLUSH_MAX_BATCH,
+    AdmissionConfig,
+    AsyncPirServer,
+    PirServerOverloaded,
+    SloConfig,
+)
+
+NEVER = 30.0
+"""A max_wait_s no test waits out — if a flush depended on it, the
+test would time out instead of passing."""
+
+
+def _fixture(domain=32, prf="siphash", seed=0):
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 1 << 64, size=domain, dtype=np.uint64)
+    server = PirServer(table, prf_name=prf)
+    client = PirClient(domain, prf, rng=np.random.default_rng(seed + 1))
+    return table, server, client
+
+
+async def _backlog(loop, frames, queries=None):
+    """Submit every frame before the aggregation task runs; returns the
+    submission tasks once all ``queries`` (default: one per frame) are
+    enqueued."""
+    tasks = [asyncio.create_task(loop.submit(frame)) for frame in frames]
+    queries = len(frames) if queries is None else queries
+    while loop.pending_queries < queries:
+        await asyncio.sleep(0)
+    return tasks
+
+
+class TestFlushTriggers:
+    def test_max_batch_flushes_without_waiting(self):
+        """Exactly max_batch queries flush immediately — max_wait is
+        parked so high that reaching the deadline would hang the test."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2, 3, 4])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=4, max_wait_s=NEVER)
+            )
+            tasks = await _backlog(loop, frames)
+            async with loop:
+                replies = await asyncio.gather(*tasks)
+            return loop, replies
+
+        loop, replies = asyncio.run(run())
+        assert loop.stats.flushes == {FLUSH_MAX_BATCH: 1}
+        assert loop.stats.largest_batch == 4
+        assert replies == [server.handle(f) for f in frames]
+
+    def test_deadline_flushes_a_lone_query(self):
+        """One query under a huge max_batch is answered by the max-wait
+        deadline — the only trigger that can fire."""
+        table, server, client = _fixture()
+        frame = client.query([5]).requests[0]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=1024, max_wait_s=0.02)
+            )
+            async with loop:
+                return loop, await loop.submit(frame)
+
+        loop, reply = asyncio.run(run())
+        assert loop.stats.flushes == {FLUSH_DEADLINE: 1}
+        assert reply == server.handle(frame)
+
+    def test_arena_bytes_budget_flushes(self):
+        """A 1-byte budget trips on any pending key material."""
+        table, server, client = _fixture()
+        frame = client.query([5]).requests[0]
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(
+                    max_batch=1024, max_wait_s=NEVER, max_arena_bytes=1
+                ),
+            )
+            async with loop:
+                return loop, await loop.submit(frame)
+
+        loop, reply = asyncio.run(run())
+        assert loop.stats.flushes == {FLUSH_ARENA_BYTES: 1}
+        assert reply == server.handle(frame)
+
+    def test_arena_budget_caps_the_merged_batch_too(self):
+        """The bytes budget bounds each fused batch's arena footprint,
+        not just when to flush: 4 one-key requests under a 2-key budget
+        dispatch as 2+2, never as one 4-key batch."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2, 3, 4])]
+        per_request = server.parse_query(frames[0])[1].arena().nbytes
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(
+                    max_batch=1024,
+                    max_wait_s=NEVER,
+                    max_arena_bytes=2 * per_request,
+                ),
+            )
+            tasks = await _backlog(loop, frames)
+            async with loop:
+                return loop, await asyncio.gather(*tasks)
+
+        loop, replies = asyncio.run(run())
+        assert loop.stats.flushes == {FLUSH_ARENA_BYTES: 2}
+        assert loop.stats.batches == 2
+        assert loop.stats.largest_batch == 2
+        assert replies == [server.handle(f) for f in frames]
+
+    def test_stop_drains_pending_queries(self):
+        """Stopping the loop answers the backlog (reason: drain)."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=1024, max_wait_s=NEVER)
+            )
+            tasks = await _backlog(loop, frames)
+            await loop.start()
+            await loop.stop()
+            return loop, await asyncio.gather(*tasks)
+
+        loop, replies = asyncio.run(run())
+        assert loop.stats.flushes == {FLUSH_DRAIN: 1}
+        assert replies == [server.handle(f) for f in frames]
+
+    def test_oversized_stream_flushes_in_max_batch_chunks(self):
+        """8 queries under max_batch=3 dispatch as 3+3+2."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many(list(range(8)))]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=3, max_wait_s=0.02)
+            )
+            tasks = await _backlog(loop, frames)
+            async with loop:
+                return loop, await asyncio.gather(*tasks)
+
+        loop, replies = asyncio.run(run())
+        assert loop.stats.batches == 3
+        assert loop.stats.largest_batch == 3
+        assert replies == [server.handle(f) for f in frames]
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_error(self):
+        """Past max_pending, submissions fail fast; admitted ones are
+        still answered correctly."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2, 3, 4])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=1024, max_wait_s=NEVER),
+                admission=AdmissionConfig(max_pending=3),
+            )
+            admitted = await _backlog(loop, frames[:3])
+            with pytest.raises(PirServerOverloaded, match="max_pending=3"):
+                await loop.submit(frames[3])
+            await loop.start()
+            await loop.stop()
+            return loop, await asyncio.gather(*admitted)
+
+        loop, replies = asyncio.run(run())
+        assert loop.stats.shed == 1
+        assert loop.stats.submitted == 3
+        assert loop.stats.answered == 3
+        assert replies == [server.handle(f) for f in frames[:3]]
+
+    def test_queue_reopens_after_flush(self):
+        """Shedding is a function of *current* depth, not history."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2, 3])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=2, max_wait_s=0.01),
+                admission=AdmissionConfig(max_pending=2),
+            )
+            tasks = await _backlog(loop, frames[:2])
+            async with loop:
+                await asyncio.gather(*tasks)
+                # Depth is back to 0: the shed-worthy submission is now
+                # admitted and served.
+                reply = await loop.submit(frames[2])
+            return loop, reply
+
+        loop, reply = asyncio.run(run())
+        assert loop.stats.shed == 0
+        assert reply == server.handle(frames[2])
+
+    def test_shedding_happens_before_key_ingestion(self):
+        """Admission reads only the frame header, so an overloaded
+        server sheds a frame without parsing its (here: garbage) key
+        payload — overload handling stays O(header)."""
+        from repro.pir import PirQuery
+
+        table, server, _ = _fixture()
+        flood = PirQuery(
+            request_id=9, count=10**6, key_bytes=b"not keys at all"
+        ).to_bytes()
+
+        async def run():
+            loop = AsyncPirServer(
+                server, admission=AdmissionConfig(max_pending=8)
+            )
+            async with loop:
+                with pytest.raises(PirServerOverloaded):
+                    await loop.submit(flood)
+            return loop
+
+        loop = asyncio.run(run())
+        assert loop.stats.shed == 10**6
+        assert loop.stats.submitted == 0
+
+    def test_multi_query_request_counts_keys_not_frames(self):
+        """Admission is per query, so one 3-key frame fills a 3-slot
+        queue."""
+        table, server, client = _fixture()
+        big = client.query([1, 2, 3]).requests[0]
+        small = client.query([4]).requests[0]
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=1024, max_wait_s=NEVER),
+                admission=AdmissionConfig(max_pending=3),
+            )
+            tasks = await _backlog(loop, [big], queries=3)
+            with pytest.raises(PirServerOverloaded):
+                await loop.submit(small)
+            await loop.start()
+            await loop.stop()
+            return loop, await asyncio.gather(*tasks)
+
+        loop, replies = asyncio.run(run())
+        assert loop.stats.shed == 1
+        assert replies == [server.handle(big)]
+
+
+class TestLifecycle:
+    def test_submit_after_stop_raises_instead_of_hanging(self):
+        """A stopped loop never silently enqueues a query no flush
+        would answer."""
+        table, server, client = _fixture()
+        frame = client.query([1]).requests[0]
+
+        async def run():
+            loop = AsyncPirServer(server)
+            async with loop:
+                await loop.submit(frame)
+            with pytest.raises(RuntimeError, match="stopped"):
+                await loop.submit(frame)
+            # Restarting reopens submission.
+            async with loop:
+                return await loop.submit(frame)
+
+        assert asyncio.run(run()) == server.handle(frame)
+
+
+class TestConfigValidation:
+    def test_slo_rejects_nonsense(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            SloConfig(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            SloConfig(max_wait_s=-1.0)
+        with pytest.raises(ValueError, match="max_arena_bytes"):
+            SloConfig(max_arena_bytes=0)
+
+    def test_admission_rejects_nonsense(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionConfig(max_pending=0)

@@ -5,6 +5,7 @@ Re-exports commonly used strategies for convenience::
     from tests.strategies import dpf_cases, domain_sizes, STANDARD_SETTINGS
 """
 
+from tests.strategies.backends import BACKEND_FACTORIES
 from tests.strategies.dpf import (
     DpfCase,
     alphas_for_domain,
@@ -19,6 +20,7 @@ from tests.strategies.dpf import (
 from tests.strategies.settings import DETERMINISM_SETTINGS, STANDARD_SETTINGS
 
 __all__ = [
+    "BACKEND_FACTORIES",
     "DETERMINISM_SETTINGS",
     "STANDARD_SETTINGS",
     "DpfCase",

@@ -1,0 +1,18 @@
+"""The shared execution-backend pool for equivalence tests.
+
+Every suite that asserts "bit-identical across backends" — the exec
+layer, the PIR round trip, the serving loop — parametrizes over this
+one mapping, so adding a backend extends every equivalence property at
+once instead of silently missing a copy-pasted dict.
+"""
+
+from __future__ import annotations
+
+from repro.exec import MultiGpuBackend, SimulatedBackend, SingleGpuBackend
+from repro.gpu import V100
+
+BACKEND_FACTORIES = {
+    "single_gpu": lambda: SingleGpuBackend(),
+    "multi_gpu": lambda: MultiGpuBackend([V100, V100]),
+    "simulated": lambda: SimulatedBackend(),
+}

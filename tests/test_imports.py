@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.gpu",
     "repro.exec",
     "repro.pir",
+    "repro.serve",
     "repro.bench",
 ]
 
