@@ -11,10 +11,18 @@ fleet, and asserts:
 * the fleet router used the model (at least one batch on each party's
   fastest device).
 
+With ``--chaos`` the session additionally kills one fleet backend on
+its first dispatch (`FlakyBackend` + `FaultPlan.nth(1)` — the
+mid-session backend-kill scenario) and asserts the control plane's
+fault-tolerance claim end to end: the failed fused batch is un-merged
+and retried, no query fails or is shed, and every answer is *still*
+bit-exact.
+
 Exit status is the assertion outcome, so this is runnable as a bare CI
 step with only numpy installed:
 
     PYTHONPATH=src python scripts/serve_smoke.py
+    PYTHONPATH=src python scripts/serve_smoke.py --chaos
 """
 
 from __future__ import annotations
@@ -32,8 +40,11 @@ from repro.gpu.device import A100, V100  # noqa: E402
 from repro.pir import PirClient, PirServer  # noqa: E402
 from repro.serve import (  # noqa: E402
     AsyncPirServer,
+    FaultPlan,
     FleetScheduler,
+    RetryPolicy,
     SloConfig,
+    flaky_fleet,
     generate_load,
 )
 
@@ -42,20 +53,30 @@ CLIENTS = 24
 PRF = "chacha20"
 
 
-def main() -> int:
+def main(chaos: bool = False) -> int:
     rng = np.random.default_rng(2024)
     table = rng.integers(0, 1 << 64, size=TABLE_ENTRIES, dtype=np.uint64)
     indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
     client = PirClient(TABLE_ENTRIES, PRF, rng=np.random.default_rng(7))
+
+    def fleet_backends():
+        backends = [SingleGpuBackend(V100), SingleGpuBackend(A100)]
+        if chaos:
+            # Both devices die on their first dispatch, so the kill
+            # lands wherever the router sends the first fused batch;
+            # every retry finds a recovered device.
+            backends = flaky_fleet(
+                backends, [FaultPlan.nth(1), FaultPlan.nth(1)]
+            )
+        return backends
 
     async def session():
         loops = [
             AsyncPirServer(
                 PirServer(table, prf_name=PRF),
                 slo=SloConfig(max_batch=8, max_wait_s=5e-3),
-                fleet=FleetScheduler(
-                    [SingleGpuBackend(V100), SingleGpuBackend(A100)]
-                ),
+                fleet=FleetScheduler(fleet_backends()),
+                retry=RetryPolicy(max_attempts=3),
             )
             for _ in range(2)
         ]
@@ -82,19 +103,39 @@ def main() -> int:
         assert any("A100" in label for label in stats.routes), (
             f"party {party} never routed to the modeled A100: {stats.routes}"
         )
+        if chaos:
+            assert stats.retried > 0, (
+                f"party {party} saw no retries — the injected fault "
+                "never hit a fused batch"
+            )
+            assert stats.failed == 0, (
+                f"party {party} failed {stats.failed} queries; the retry "
+                "path should have recovered all of them"
+            )
+            assert stats.failures.get("BackendFault", 0) >= 1, (
+                f"party {party} recorded no BackendFault dispatch "
+                f"failure: {stats.failures}"
+            )
         print(
             f"party {party}: {stats.answered} queries in {stats.batches} "
             f"batches (largest {stats.largest_batch}, mean "
             f"{stats.mean_batch:.1f}), flushes={stats.flushes}, "
             f"routes={stats.routes}"
+            + (
+                f", retried={stats.retried}, failures={stats.failures}"
+                if chaos
+                else ""
+            )
         )
+    label = "serve-smoke (chaos) ok" if chaos else "serve-smoke ok"
     print(
-        f"serve-smoke ok: {report.answered} answers bit-exact, "
+        f"{label}: {report.answered} answers bit-exact, "
         f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms "
-        f"({report.achieved_qps:.0f} qps)"
+        f"({report.achieved_qps:.0f} qps"
+        + (f", {report.retried} queries retried)" if chaos else ")")
     )
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(chaos="--chaos" in sys.argv[1:]))

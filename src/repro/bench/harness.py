@@ -44,10 +44,17 @@ from repro.gpu import (
 )
 from repro.pir import PirClient, PirServer
 from repro.serve import (
+    BATCH,
+    INTERACTIVE,
     AdmissionConfig,
     AsyncPirServer,
+    FaultPlan,
+    FlakyBackend,
     LoadReport,
+    QosPolicy,
+    RetryPolicy,
     SloConfig,
+    TenantSpec,
     generate_load,
 )
 
@@ -95,9 +102,29 @@ party), paced to ``offered_qps`` queries/s (0 = one unpaced burst),
 with the aggregation deadline set to ``slo_ms``.  ``qps`` is *answered*
 queries per second of session wall time, and the row additionally
 reports ``p50_ms`` / ``p99_ms`` request latency — the SLO-facing
-numbers.  Every session's reconstructed answers are verified bit-exact
-against the table before the timed sessions run.
+numbers — plus the control-plane counters ``shed`` / ``retried`` /
+``failed``.  Every session's reconstructed answers are verified
+bit-exact against the table before the timed sessions run.
+
+Two control-plane scenario axes ride on serving cases:
+
+* ``chaos="fail_once"`` wraps each party's backend in a
+  :class:`~repro.serve.FlakyBackend` that kills the *first* dispatched
+  batch (fail-once-then-recover), so the row's throughput and
+  percentiles include the retry/requeue recovery cost; verification
+  additionally requires that retries happened and every answer is
+  still bit-exact — the chaos-tolerance claim as a bench row.
+* ``qos="mixed"`` tags alternating requests with an interactive-class
+  and a batch-class tenant under a :class:`~repro.serve.QosPolicy`,
+  and reports per-class p99 (``interactive_p99_ms`` / ``batch_p99_ms``)
+  so the priority separation is a measured number, not a promise.
 """
+
+SERVING_CHAOS_MODES = ("", "fail_once")
+"""Accepted ``chaos`` axis values for :data:`SERVING` cases."""
+
+SERVING_QOS_MODES = ("", "mixed")
+"""Accepted ``qos`` axis values for :data:`SERVING` cases."""
 
 INGEST_MODES = ("objects", "wire", "arena")
 """How ``eval_batch`` receives its keys at each grid point.
@@ -111,10 +138,13 @@ INGEST_MODES = ("objects", "wire", "arena")
   work is evaluation only.
 """
 
-SCHEMA_VERSION = 5
-"""Bumped to 5 with the ``serving`` case family: cases and results grew
-``offered_qps`` / ``slo_ms`` axes and results grew ``p50_ms`` /
-``p99_ms`` latency percentiles (0 for non-serving rows)."""
+SCHEMA_VERSION = 6
+"""Bumped to 6 with the serving control plane: cases grew the ``chaos``
+/ ``qos`` scenario axes and results grew the ``shed`` / ``retried`` /
+``failed`` query counters plus per-class ``interactive_p99_ms`` /
+``batch_p99_ms`` percentiles (0/empty for non-serving rows).  Schema 5
+added the ``serving`` family itself (``offered_qps`` / ``slo_ms`` axes,
+``p50_ms`` / ``p99_ms`` results)."""
 
 
 @dataclass(frozen=True)
@@ -135,6 +165,10 @@ class BenchCase:
             in queries/s (0 = one unpaced burst).
         slo_ms: :data:`SERVING` cases only — the aggregation loop's
             ``max_wait_s`` deadline, in milliseconds.
+        chaos: :data:`SERVING` cases only — fault-injection scenario
+            (see :data:`SERVING_CHAOS_MODES`; "" = healthy backends).
+        qos: :data:`SERVING` cases only — traffic-class scenario (see
+            :data:`SERVING_QOS_MODES`; "" = one implicit class).
     """
 
     prf: str
@@ -146,6 +180,8 @@ class BenchCase:
     warmup: int = 1
     offered_qps: float = 0.0
     slo_ms: float = 0.0
+    chaos: str = ""
+    qos: str = ""
 
     @property
     def domain_size(self) -> int:
@@ -161,6 +197,10 @@ class BenchCase:
         if self.strategy == SERVING:
             load = f"{self.offered_qps:g}" if self.offered_qps > 0 else "burst"
             label += f" load={load} slo={self.slo_ms:g}ms"
+            if self.chaos:
+                label += f" chaos={self.chaos}"
+            if self.qos:
+                label += f" qos={self.qos}"
         return label
 
 
@@ -168,9 +208,13 @@ class BenchCase:
 class BenchResult:
     """Measured numbers for one :class:`BenchCase`.
 
-    ``offered_qps`` / ``slo_ms`` echo the case axes and ``p50_ms`` /
-    ``p99_ms`` are per-request latency percentiles; all four are
-    meaningful for :data:`SERVING` rows and 0 elsewhere.
+    ``offered_qps`` / ``slo_ms`` / ``chaos`` / ``qos`` echo the case
+    axes; ``p50_ms`` / ``p99_ms`` are per-request latency percentiles;
+    ``shed`` / ``retried`` / ``failed`` count queries the reported
+    session shed at admission, requeued after a backend failure, and
+    failed after retry exhaustion; ``interactive_p99_ms`` /
+    ``batch_p99_ms`` are per-class percentiles for ``qos="mixed"``
+    rows.  All are meaningful for :data:`SERVING` rows and 0/"" elsewhere.
     """
 
     prf: str
@@ -187,8 +231,15 @@ class BenchResult:
     verified: bool
     offered_qps: float = 0.0
     slo_ms: float = 0.0
+    chaos: str = ""
+    qos: str = ""
     p50_ms: float = 0.0
     p99_ms: float = 0.0
+    shed: int = 0
+    retried: int = 0
+    failed: int = 0
+    interactive_p99_ms: float = 0.0
+    batch_p99_ms: float = 0.0
 
 
 def _reference_blocks(batch: int, log_domain: int) -> int:
@@ -226,6 +277,11 @@ def _result(
     verified: bool,
     p50_ms: float = 0.0,
     p99_ms: float = 0.0,
+    shed: int = 0,
+    retried: int = 0,
+    failed: int = 0,
+    interactive_p99_ms: float = 0.0,
+    batch_p99_ms: float = 0.0,
 ) -> BenchResult:
     return BenchResult(
         prf=case.prf,
@@ -242,8 +298,15 @@ def _result(
         verified=verified,
         offered_qps=case.offered_qps,
         slo_ms=case.slo_ms,
+        chaos=case.chaos,
+        qos=case.qos,
         p50_ms=p50_ms,
         p99_ms=p99_ms,
+        shed=shed,
+        retried=retried,
+        failed=failed,
+        interactive_p99_ms=interactive_p99_ms,
+        batch_p99_ms=batch_p99_ms,
     )
 
 
@@ -315,10 +378,20 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
     Each session is ``case.batch`` independent single-query clients
     against two aggregation loops on :class:`SingleGpuBackend`; the
     fastest of ``case.repeats`` sessions is reported (after ``warmup``
-    untimed sessions), with that session's latency percentiles.
+    untimed sessions), with that session's latency percentiles and
+    control-plane counters.  ``chaos="fail_once"`` wraps each party's
+    backend so its first dispatch dies (the recovery cost lands in the
+    row); ``qos="mixed"`` splits clients into an interactive-class and
+    a batch-class tenant and reports per-class p99.
     """
     if case.slo_ms <= 0:
         raise ValueError(f"serving cases need a positive slo_ms, got {case.slo_ms}")
+    if case.chaos not in SERVING_CHAOS_MODES:
+        raise ValueError(
+            f"unknown chaos mode {case.chaos!r}; use {SERVING_CHAOS_MODES}"
+        )
+    if case.qos not in SERVING_QOS_MODES:
+        raise ValueError(f"unknown qos mode {case.qos!r}; use {SERVING_QOS_MODES}")
     rng = np.random.default_rng(11)
     table = rng.integers(0, 1 << 64, size=case.domain_size, dtype=np.uint64)
     indices = rng.integers(0, case.domain_size, size=case.batch).tolist()
@@ -326,15 +399,41 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
     slo = SloConfig(
         max_batch=max(2, case.batch // 2), max_wait_s=case.slo_ms * 1e-3
     )
-    # Sized so nothing sheds: the bench measures latency, not the
-    # shedding policy (tests/serve/ covers that).
-    admission = AdmissionConfig(max_pending=max(case.batch, 1))
+    # Sized so nothing sheds: the bench measures latency (including
+    # chaos recovery), not the shedding policy (tests/serve/ covers
+    # that) — hence the disabled drain budget.
+    admission = AdmissionConfig(max_pending=max(case.batch, 1), drain_budget_s=None)
+    qos_policy = None
+    tenants = None
+    if case.qos == "mixed":
+        qos_policy = QosPolicy(
+            tenants={
+                "tenant-interactive": TenantSpec(qos=INTERACTIVE),
+                "tenant-batch": TenantSpec(qos=BATCH),
+            }
+        )
+        # Batch-class traffic is *released first*, interactive second —
+        # the adversarial shape for priority: interactive requests must
+        # overtake an already-queued batch backlog for their p99 to win,
+        # so the per-class split measures the take order, not arrival
+        # luck.
+        half = len(indices) // 2
+        tenants = [
+            "tenant-batch" if i < half else "tenant-interactive"
+            for i in range(len(indices))
+        ]
+
+    def backend():
+        inner = SingleGpuBackend()
+        if case.chaos == "fail_once":
+            return FlakyBackend(inner, FaultPlan.nth(1))
+        return inner
 
     def session() -> LoadReport:
         servers = [
             PirServer(
                 table,
-                backend=SingleGpuBackend(),
+                backend=backend(),
                 prf_name=case.prf,
                 resident=resident,
             )
@@ -344,12 +443,22 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
 
         async def run():
             loops = [
-                AsyncPirServer(server, slo=slo, admission=admission)
+                AsyncPirServer(
+                    server,
+                    slo=slo,
+                    admission=admission,
+                    qos=qos_policy,
+                    retry=RetryPolicy(max_attempts=3),
+                )
                 for server in servers
             ]
             async with loops[0], loops[1]:
                 return await generate_load(
-                    client, loops, indices, offered_qps=case.offered_qps
+                    client,
+                    loops,
+                    indices,
+                    offered_qps=case.offered_qps,
+                    tenants=tenants,
                 )
 
         return asyncio.run(run())
@@ -359,6 +468,14 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
         report = session()
         if report.shed:
             raise ValueError(f"serving session shed {report.shed} queries for {case}")
+        if report.failed:
+            raise ValueError(
+                f"serving session failed {report.failed} queries for {case}"
+            )
+        if case.chaos and not report.retried:
+            raise ValueError(
+                f"chaos scenario injected no retried queries for {case}"
+            )
         if not np.array_equal(report.answers, table[np.array(report.indices)]):
             raise ValueError(f"served answers diverged from the table for {case}")
         verified = True
@@ -378,6 +495,19 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
         verified,
         p50_ms=best.p50_ms,
         p99_ms=best.p99_ms,
+        shed=best.shed,
+        retried=best.retried,
+        failed=best.failed,
+        interactive_p99_ms=(
+            best.latency_percentile_ms(99, tenant="tenant-interactive")
+            if case.qos == "mixed"
+            else 0.0
+        ),
+        batch_p99_ms=(
+            best.latency_percentile_ms(99, tenant="tenant-batch")
+            if case.qos == "mixed"
+            else 0.0
+        ),
     )
 
 
@@ -607,6 +737,24 @@ def default_grid(
                         slo_ms=slo_ms,
                     )
                 )
+        # Control-plane scenarios, each next to its healthy burst twin:
+        # a mid-session backend death (recovery cost via retry/requeue)
+        # and a mixed interactive/batch tenant load (per-class p99).
+        for chaos, qos in (("fail_once", ""), ("", "mixed")):
+            cases.append(
+                BenchCase(
+                    ingest_prf,
+                    SERVING,
+                    32,
+                    min(log_domains),
+                    ingest="wire",
+                    repeats=repeats,
+                    offered_qps=0.0,
+                    slo_ms=8.0,
+                    chaos=chaos,
+                    qos=qos,
+                )
+            )
     return cases
 
 
@@ -614,8 +762,9 @@ def smoke_grid() -> list[BenchCase]:
     """A seconds-long grid for CI: every strategy once, two PRFs,
     plus one wire-ingest eval, one persistent-arena eval, one ingestion
     micro-case, the end-to-end PIR round trip on every serving path,
-    and one async serving session, so every ingest mode, the pipeline,
-    and the aggregation loop all stay exercised."""
+    and three async serving sessions (healthy, fail-once chaos, mixed
+    QoS), so every ingest mode, the pipeline, the aggregation loop,
+    and the fault-tolerant control plane all stay exercised."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
@@ -639,6 +788,37 @@ def smoke_grid() -> list[BenchCase]:
             warmup=0,
             offered_qps=0.0,
             slo_ms=2.0,
+        )
+    )
+    # Control-plane smoke: a backend dying mid-session (retry/requeue
+    # must keep every answer bit-exact) and a mixed-class tenant load
+    # (per-class percentiles populated) stay exercised in CI.
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+            chaos="fail_once",
+        )
+    )
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+            qos="mixed",
         )
     )
     for strategy in available_strategies():

@@ -112,6 +112,28 @@ class ExecutionBackend(abc.ABC):
     def run(self, request: EvalRequest) -> EvalResult:
         """Evaluate the request's keys over the full domain."""
 
+    def model_latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident: bool = False,
+        entry_bytes: int = 8,
+    ) -> float | None:
+        """Modeled batch latency for a workload *shape* — no keys needed.
+
+        The metadata-only pricing hook drain-time admission builds on
+        (:class:`repro.serve.control.DrainTimeModel`): the same number
+        :meth:`plan` would report as
+        :attr:`~repro.exec.request.ExecutionPlan.latency_s`, but priced
+        from ``(batch, table, prf, residency)`` alone so a serving loop
+        can ask "how fast would a flush of B queries drain" without
+        synthesizing key material.  Returns ``None`` when the backend
+        has no performance model (callers must then skip model-based
+        policies rather than guess).
+        """
+        return None
+
 
 class SingleGpuBackend(ExecutionBackend):
     """Scheduler-driven execution on one modeled device.
@@ -169,6 +191,18 @@ class SingleGpuBackend(ExecutionBackend):
             ),
         )
 
+    def model_latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident: bool = False,
+        entry_bytes: int = 8,
+    ) -> float | None:
+        return self._scheduler(entry_bytes).latency_s(
+            batch_size, table_entries, prf_name, resident
+        )
+
     def run(self, request: EvalRequest) -> EvalResult:
         plan = self.plan(request)
         name = plan.strategies[0]
@@ -220,6 +254,21 @@ class MultiGpuBackend(ExecutionBackend):
         )
         return ExecutionPlan(backend=self.name, resident=request.resident, stats=stats)
 
+    def model_latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident: bool = False,
+        entry_bytes: int = 8,
+    ) -> float | None:
+        return self._executor(entry_bytes).execute(
+            batch_size,
+            table_entries,
+            prf_name=prf_name,
+            resident_keys=resident,
+        ).latency_s
+
     def run(self, request: EvalRequest) -> EvalResult:
         plan = self.plan(request)
         answers = self._executor(request.entry_bytes).eval_batch(
@@ -250,6 +299,22 @@ class SimulatedBackend(ExecutionBackend):
     def plan(self, request: EvalRequest) -> ExecutionPlan:
         plan = self._single.plan(request)
         return ExecutionPlan(backend=self.name, resident=plan.resident, stats=plan.stats)
+
+    def model_latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident: bool = False,
+        entry_bytes: int = 8,
+    ) -> float | None:
+        return self._single.model_latency_s(
+            batch_size,
+            table_entries,
+            prf_name=prf_name,
+            resident=resident,
+            entry_bytes=entry_bytes,
+        )
 
     def run(self, request: EvalRequest) -> EvalResult:
         plan = self.plan(request)

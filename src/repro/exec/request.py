@@ -134,6 +134,56 @@ class EvalRequest:
         )
         return merged, tuple(arena.batch for arena in arenas)
 
+    @classmethod
+    def unmerge(
+        cls, merged: "EvalRequest", sizes: Sequence[int]
+    ) -> list["EvalRequest"]:
+        """Split a fused request back into its constituent requests.
+
+        The inverse of :meth:`merge`, and the retry path's workhorse: a
+        backend failure poisons the *fused* batch, but each constituent
+        is individually retryable, so the serving loop un-merges the
+        batch and requeues the survivors.  Each returned request wraps
+        a zero-copy slice of the merged arena (ingestion is never
+        repeated) and inherits the merged ``entry_bytes`` / ``resident``
+        / SLO settings — re-merging the pieces reproduces the original
+        batch bit for bit.
+
+        Args:
+            merged: A request produced by :meth:`merge` (or any request
+                whose arena covers ``sum(sizes)`` keys).
+            sizes: The per-constituent batch sizes :meth:`merge`
+                returned, in order.
+
+        Raises:
+            ValueError: If ``sizes`` is empty, contains a non-positive
+                size, or does not sum to the merged arena's batch.
+        """
+        arena = merged.arena()
+        if not sizes:
+            raise ValueError("need at least one slice size")
+        if any(size <= 0 for size in sizes):
+            raise ValueError(f"slice sizes must be positive, got {tuple(sizes)}")
+        if sum(sizes) != arena.batch:
+            raise ValueError(
+                f"slice sizes sum to {sum(sizes)} but the merged arena "
+                f"carries {arena.batch} keys"
+            )
+        requests = []
+        offset = 0
+        for size in sizes:
+            requests.append(
+                cls(
+                    keys=arena[offset : offset + size],
+                    prf_name=merged.prf_name,
+                    entry_bytes=merged.entry_bytes,
+                    resident=merged.resident,
+                    slo_latency_s=merged.slo_latency_s,
+                )
+            )
+            offset += size
+        return requests
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:

@@ -1,29 +1,56 @@
-"""SLO-aware async serving: batching, admission control, fleet routing.
+"""SLO-aware async serving: batching, admission, QoS, fault tolerance.
 
-This package is the serving layer the ROADMAP's throughput item asked
-for — the piece that turns the synchronous, one-caller-at-a-time
-:class:`~repro.pir.PirServer` into a system that can absorb heavy
-concurrent traffic:
+This package is the serving layer the ROADMAP's throughput and
+control-plane items asked for — the piece that turns the synchronous,
+one-caller-at-a-time :class:`~repro.pir.PirServer` into a system that
+can absorb heavy concurrent traffic and survive backend failures:
 
 * :mod:`repro.serve.loop` — :class:`AsyncPirServer`, the asyncio
   request loop: framed queries in, per-request futures out, with batch
   aggregation under a latency SLO (flush on max-batch, arena-bytes
-  budget, or max-wait deadline) and bounded-queue admission control
-  (shed with :class:`PirServerOverloaded` past ``max_pending``).
+  budget, or max-wait deadline), two-layer admission control (modeled
+  drain time as the default policy, ``max_pending`` as the hard cap),
+  and retry/requeue on backend failure (a failed fused batch is
+  un-merged and its survivors retried individually).
+* :mod:`repro.serve.control` — the control-plane policies the loop
+  consults: :class:`RetryPolicy` (bounded retries, backoff budgets),
+  :class:`QosPolicy` / :class:`TenantSpec` (per-tenant token buckets,
+  :data:`INTERACTIVE`-over-:data:`BATCH` priority with anti-starvation),
+  and :class:`DrainTimeModel` (queue drain priced via the performance
+  model, fleet-aware).
+* :mod:`repro.serve.chaos` — deterministic fault injection:
+  :class:`FlakyBackend` + :class:`FaultPlan` fail chosen dispatches
+  with :class:`BackendFault` so tests, the smoke session, and the
+  chaos bench scenario can kill a backend mid-batch on demand.
 * :mod:`repro.serve.fleet` — :class:`FleetScheduler`, routing merged
   batches across heterogeneous backends (e.g. a mixed V100 + A100
   fleet) by predicted completion time from each backend's
   :class:`~repro.exec.ExecutionPlan`.
 * :mod:`repro.serve.load` — :func:`generate_load`, the concurrent
   client population that drives the loop in benches, tests, and the CI
-  serve-smoke session.
+  serve-smoke session, with per-tenant latency and retry accounting.
 
 The invariant everything above preserves: answers served through the
 aggregation loop are *bit-identical* to sequential
-``PirServer.handle`` for the same queries, across every backend and
-concurrency level (``tests/serve/``).
+``PirServer.handle`` for the same queries, across every backend, every
+concurrency level, and every injected fault short of retry-budget
+exhaustion (``tests/serve/``).
 """
 
+from repro.serve.chaos import BackendFault, FaultPlan, FlakyBackend, flaky_fleet
+from repro.serve.control import (
+    BATCH,
+    INTERACTIVE,
+    QOS_CLASSES,
+    SHED_DEPTH,
+    SHED_DRAIN,
+    SHED_RATE_LIMIT,
+    DrainTimeModel,
+    QosPolicy,
+    RetryPolicy,
+    TenantSpec,
+    TokenBucket,
+)
 from repro.serve.fleet import FleetScheduler, RoutingDecision
 from repro.serve.load import LoadReport, generate_load
 from repro.serve.loop import (
@@ -36,6 +63,7 @@ from repro.serve.loop import (
     PirServerOverloaded,
     ServingStats,
     SloConfig,
+    TenantRateLimited,
 )
 
 __all__ = [
@@ -44,6 +72,22 @@ __all__ = [
     "AdmissionConfig",
     "ServingStats",
     "PirServerOverloaded",
+    "TenantRateLimited",
+    "RetryPolicy",
+    "QosPolicy",
+    "TenantSpec",
+    "TokenBucket",
+    "DrainTimeModel",
+    "INTERACTIVE",
+    "BATCH",
+    "QOS_CLASSES",
+    "SHED_DEPTH",
+    "SHED_DRAIN",
+    "SHED_RATE_LIMIT",
+    "BackendFault",
+    "FaultPlan",
+    "FlakyBackend",
+    "flaky_fleet",
     "FleetScheduler",
     "RoutingDecision",
     "LoadReport",

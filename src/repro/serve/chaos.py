@@ -1,0 +1,168 @@
+"""Deterministic fault injection for the serving control plane.
+
+A fused batch concentrates failure: if the backend dies mid-dispatch,
+every query in the batch is at risk, so the retry/requeue path is the
+part of the serving loop most worth torturing.  :class:`FlakyBackend`
+wraps any :class:`~repro.exec.ExecutionBackend` and fails chosen
+``run`` calls with :class:`BackendFault` according to a
+:class:`FaultPlan` — *deterministically*, so a chaos test that found a
+bug replays it exactly:
+
+* :meth:`FaultPlan.nth` — fail specific run invocations (``nth(1)`` is
+  fail-once-then-recover, the mid-session backend-kill scenario).
+* :meth:`FaultPlan.always` — a dead backend; every dispatch fails.
+* :meth:`FaultPlan.random` — seeded Bernoulli faults for property
+  tests that want coverage without choreography.
+
+``plan`` and the cost hooks always delegate — the *model* of the
+hardware is intact, only the execution is flaky, which mirrors a real
+transient fault (and keeps fleet routing and drain-time admission
+working mid-outage).  Used by ``tests/serve/test_chaos.py``,
+``scripts/serve_smoke.py --chaos``, and the ``serving`` bench family's
+chaos scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.backend import ExecutionBackend
+from repro.exec.request import EvalRequest, EvalResult, ExecutionPlan
+
+
+class BackendFault(RuntimeError):
+    """An injected backend failure (the chaos stand-in for a dead GPU)."""
+
+
+class FaultPlan:
+    """Decides, per ``run`` invocation, whether to inject a fault.
+
+    Construct through the factories (:meth:`nth` / :meth:`always` /
+    :meth:`random`); the plan is consulted with the 1-indexed run
+    number and answers the same way on every replay.
+    """
+
+    def __init__(
+        self,
+        fail_runs: frozenset[int] = frozenset(),
+        always: bool = False,
+        rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self.fail_runs = fail_runs
+        self.always = always
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def nth(cls, *runs: int) -> "FaultPlan":
+        """Fail exactly the given 1-indexed ``run`` invocations.
+
+        ``FaultPlan.nth(1)`` is fail-once-then-recover: the first
+        dispatched batch dies, every retry lands on a healthy backend.
+        """
+        if not runs or any(n < 1 for n in runs):
+            raise ValueError(f"run numbers must be >= 1, got {runs}")
+        return cls(fail_runs=frozenset(runs))
+
+    @classmethod
+    def always(cls) -> "FaultPlan":
+        """Fail every run — a permanently dead backend."""
+        return cls(always=True)
+
+    @classmethod
+    def random(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Fail each run independently with probability ``rate``,
+        drawn from a seeded generator (deterministic per seed)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        return cls(rate=rate, seed=seed)
+
+    def should_fail(self, run_number: int) -> bool:
+        """Whether the ``run_number``-th (1-indexed) run must fail."""
+        if self.always or run_number in self.fail_runs:
+            return True
+        if self.rate > 0.0:
+            return bool(self._rng.random() < self.rate)
+        return False
+
+
+class FlakyBackend(ExecutionBackend):
+    """An :class:`ExecutionBackend` whose ``run`` fails on plan.
+
+    Args:
+        inner: The healthy backend every non-faulted call delegates to.
+        plan: When to inject (see :class:`FaultPlan`).
+
+    Attributes:
+        runs: ``run`` invocations so far (faulted ones included).
+        faults: Faults injected so far.
+    """
+
+    name = "flaky"
+
+    def __init__(self, inner: ExecutionBackend, plan: FaultPlan):
+        self.inner = inner
+        self.fault_plan = plan
+        self.runs = 0
+        self.faults = 0
+
+    @property
+    def device(self):
+        """Delegate device identity so fleet route labels still name
+        the real hardware, not the chaos wrapper."""
+        return getattr(self.inner, "device", None)
+
+    @property
+    def devices(self):
+        return getattr(self.inner, "devices", None)
+
+    def plan(self, request: EvalRequest) -> ExecutionPlan:
+        """Pricing never faults: the model is intact, the device flaky."""
+        return self.inner.plan(request)
+
+    def model_latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident: bool = False,
+        entry_bytes: int = 8,
+    ) -> float | None:
+        return self.inner.model_latency_s(
+            batch_size,
+            table_entries,
+            prf_name=prf_name,
+            resident=resident,
+            entry_bytes=entry_bytes,
+        )
+
+    def run(self, request: EvalRequest) -> EvalResult:
+        self.runs += 1
+        if self.fault_plan.should_fail(self.runs):
+            self.faults += 1
+            raise BackendFault(
+                f"injected fault on {self.inner.name} run #{self.runs}"
+            )
+        return self.inner.run(request)
+
+
+def flaky_fleet(
+    backends: Sequence[ExecutionBackend], plans: Sequence[FaultPlan | None]
+) -> list[ExecutionBackend]:
+    """Wrap a fleet's backends in :class:`FlakyBackend` per plan.
+
+    ``plans[i] is None`` leaves ``backends[i]`` healthy — the common
+    chaos shape is one flaky device in an otherwise healthy fleet.
+    """
+    if len(backends) != len(plans):
+        raise ValueError(
+            f"need one plan per backend, got {len(plans)} plans "
+            f"for {len(backends)} backends"
+        )
+    return [
+        backend if plan is None else FlakyBackend(backend, plan)
+        for backend, plan in zip(backends, plans)
+    ]

@@ -115,3 +115,34 @@ class FleetScheduler:
         """Route the request, then run it on the chosen backend."""
         decision = self.route(request)
         return self.backends[decision.backend_index].run(request), decision
+
+    def model_latency_s(
+        self,
+        batch_size: int,
+        table_entries: int,
+        prf_name: str = "aes128",
+        resident: bool = False,
+        entry_bytes: int = 8,
+    ) -> float | None:
+        """Fleet-aggregate modeled latency for one workload shape.
+
+        The fleet serves flushes *concurrently*, so its effective
+        throughput is the sum of each backend's modeled QPS; the
+        returned latency is ``batch_size`` over that sum — the number
+        drain-time admission divides queue depth by when a fleet is
+        attached.  ``None`` when any backend lacks a model (the caller
+        must then skip model-based policies).
+        """
+        total_qps = 0.0
+        for backend in self.backends:
+            latency = backend.model_latency_s(
+                batch_size,
+                table_entries,
+                prf_name=prf_name,
+                resident=resident,
+                entry_bytes=entry_bytes,
+            )
+            if latency is None or latency <= 0:
+                return None
+            total_qps += batch_size / latency
+        return batch_size / total_qps

@@ -10,26 +10,43 @@ asyncio request loop that does exactly that:
 * **Submission** — :meth:`AsyncPirServer.submit` takes one framed
   :class:`~repro.pir.wire.PirQuery` buffer, validates it end to end
   (malformed, mismatched, or oversized queries fail *synchronously*,
-  before entering the queue), applies admission control, enqueues the
-  validated request, and awaits a per-request future.
+  before entering the queue), applies admission control and the
+  submitting tenant's QoS policy, enqueues the validated request under
+  its priority class, and awaits a per-request future.
 * **Aggregation** — a background task merges pending requests into one
   fused :class:`~repro.exec.EvalRequest` and flushes when any SLO
   trigger fires: the batch reached ``max_batch`` queries, the pending
   key material reached ``max_arena_bytes``, or the *oldest* request's
-  ``max_wait_s`` deadline arrived.
+  ``max_wait_s`` deadline arrived.  Interactive-class requests are
+  taken into fused batches ahead of batch-class ones, bounded by an
+  anti-starvation age (see :class:`~repro.serve.control.QosPolicy`).
 * **Dispatch** — the merged batch runs on the wrapped server's backend
   or, when a :class:`~repro.serve.fleet.FleetScheduler` is attached, on
   whichever fleet backend the model predicts finishes earliest.
+* **Failure containment** — a fused batch concentrates risk: one
+  backend exception would fail *every* query in it.  Instead, the loop
+  un-merges a failed batch (:meth:`~repro.exec.EvalRequest.unmerge`)
+  and requeues its surviving requests under the
+  :class:`~repro.serve.control.RetryPolicy` (bounded attempts,
+  exponential backoff charged against a per-request budget); only a
+  request whose retry budget is exhausted fails, individually.
 * **Demultiplexing** — the merged ``(B, L)`` share matrix is combined
   against the table *once* and the ``(B,)`` answer vector sliced back
   per request; each caller's future resolves to its own framed
   :class:`~repro.pir.wire.PirReply`, bit-identical to what a
-  sequential ``PirServer.handle`` call would have produced.
+  sequential ``PirServer.handle`` call would have produced — a
+  property that holds *through* injected backend faults
+  (``tests/serve/test_chaos.py``).
 
-Admission control is a bounded queue: past ``max_pending`` queued
-queries the submitter gets :class:`PirServerOverloaded` immediately
-(shed-with-error) instead of unbounded queueing — under overload,
-shedding keeps the latency of admitted requests bounded.
+Admission control is two-layered.  The default policy sheds by
+*predicted drain time*: queue depth divided by the modeled throughput
+of a flush (:class:`~repro.serve.control.DrainTimeModel`, fleet-aware
+when a fleet is attached) against ``drain_budget_s`` — "will this
+query make it out inside the budget", not "how long is the line".
+Behind it, ``max_pending`` remains a hard depth cap.  Shed queries get
+:class:`PirServerOverloaded` immediately; rate-limited tenants get
+:class:`TenantRateLimited` so clients can tell "server full" from
+"you specifically are over quota".
 """
 
 from __future__ import annotations
@@ -43,6 +60,15 @@ from typing import Callable
 from repro.exec.request import EvalRequest
 from repro.pir.server import PirServer
 from repro.pir.wire import PirQuery, PirReply
+from repro.serve.control import (
+    QOS_CLASSES,
+    SHED_DEPTH,
+    SHED_DRAIN,
+    SHED_RATE_LIMIT,
+    DrainTimeModel,
+    QosPolicy,
+    RetryPolicy,
+)
 from repro.serve.fleet import FleetScheduler
 
 FLUSH_MAX_BATCH = "max_batch"
@@ -59,12 +85,35 @@ FLUSH_DRAIN = "drain"
 
 
 class PirServerOverloaded(RuntimeError):
-    """The bounded queue is full; the query was shed, not served.
+    """The query was shed by admission control, not served.
 
     Raised to the submitter *synchronously* so a client can back off or
     retry elsewhere — under overload an immediate error is kinder than
     an unbounded queue whose tail latency grows without limit.
+
+    Attributes:
+        reason: Which admission layer shed
+            (:data:`~repro.serve.control.SHED_DEPTH` /
+            :data:`~repro.serve.control.SHED_DRAIN` /
+            :data:`~repro.serve.control.SHED_RATE_LIMIT`).
     """
+
+    def __init__(self, message: str, reason: str = SHED_DEPTH):
+        super().__init__(message)
+        self.reason = reason
+
+
+class TenantRateLimited(PirServerOverloaded):
+    """The submitting tenant's token bucket was empty.
+
+    A subclass of :class:`PirServerOverloaded` so existing shed
+    handling catches it, but distinguishable: the *server* has
+    capacity — this tenant is over its own quota and should back off
+    without failing over to a replica.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, reason=SHED_RATE_LIMIT)
 
 
 @dataclass(frozen=True)
@@ -106,16 +155,27 @@ class AdmissionConfig:
     """Backpressure policy for the bounded request queue.
 
     Attributes:
-        max_pending: Maximum queries (keys, not requests) queued at
-            once; a submission that would exceed it is shed with
-            :class:`PirServerOverloaded`.
+        max_pending: Hard cap — maximum queries (keys, not requests)
+            queued or awaiting retry at once; a submission that would
+            exceed it is shed with :class:`PirServerOverloaded`.
+        drain_budget_s: Drain-time policy (the default shedding layer):
+            shed when the *modeled* time to drain the queue including
+            the new query — pending queries over the modeled throughput
+            of a ``max_batch`` flush, fleet-aware — would exceed this
+            budget.  ``None`` disables the drain layer, reverting to
+            depth-only shedding.
     """
 
     max_pending: int = 1024
+    drain_budget_s: float | None = 0.25
 
     def __post_init__(self):
         if self.max_pending <= 0:
             raise ValueError(f"max_pending must be positive, got {self.max_pending}")
+        if self.drain_budget_s is not None and self.drain_budget_s <= 0:
+            raise ValueError(
+                f"drain_budget_s must be positive or None, got {self.drain_budget_s}"
+            )
 
 
 @dataclass
@@ -124,11 +184,26 @@ class ServingStats:
 
     Attributes:
         submitted: Queries admitted into the queue.
-        answered: Queries whose reply future resolved successfully.
-        shed: Queries rejected by admission control.
-        batches: Merged batches dispatched.
+        answered: Queries whose reply future actually received its
+            result (a caller that cancelled mid-queue is counted under
+            ``cancelled``, never here).
+        shed: Queries rejected by admission control, all layers.
+        shed_reasons: Shed counts keyed by admission layer
+            (:data:`~repro.serve.control.SHED_DEPTH` /
+            :data:`~repro.serve.control.SHED_DRAIN` /
+            :data:`~repro.serve.control.SHED_RATE_LIMIT`).
+        retried: Queries requeued after a failed batch dispatch.
+        failed: Queries whose future received a backend failure after
+            the retry budget was exhausted.
+        failures: Failed batch *dispatches* keyed by exception type
+            name (one entry per failed flush, however many queries it
+            carried).
+        cancelled: Queries whose caller cancelled the awaited future —
+            purged before merging when caught in the queue, or dropped
+            at demux when the cancel raced the dispatch.
+        batches: Merged batches dispatched successfully.
         largest_batch: Most queries fused into one dispatched batch.
-        flushes: Dispatch counts keyed by flush reason
+        flushes: Successful dispatch counts keyed by flush reason
             (:data:`FLUSH_MAX_BATCH` / :data:`FLUSH_ARENA_BYTES` /
             :data:`FLUSH_DEADLINE` / :data:`FLUSH_DRAIN`).
         routes: Dispatch counts keyed by fleet backend label (only
@@ -138,6 +213,11 @@ class ServingStats:
     submitted: int = 0
     answered: int = 0
     shed: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    retried: int = 0
+    failed: int = 0
+    failures: dict[str, int] = field(default_factory=dict)
+    cancelled: int = 0
     batches: int = 0
     largest_batch: int = 0
     flushes: dict[str, int] = field(default_factory=dict)
@@ -149,14 +229,23 @@ class ServingStats:
         return self.answered / self.batches if self.batches else 0.0
 
 
-@dataclass
+@dataclass(eq=False)
 class _Pending:
-    """One admitted query awaiting its batch."""
+    """One admitted query awaiting its batch (or its retry slot).
+
+    Identity equality (``eq=False``): pendings are tracked through
+    queues and the retry pen as objects, and field equality would
+    recurse into numpy-backed requests."""
 
     query: PirQuery
     request: EvalRequest
     future: asyncio.Future
     enqueued_at: float
+    tenant: str | None = None
+    qos: str = QOS_CLASSES[0]
+    attempts: int = 0
+    backoff_used_s: float = 0.0
+    not_before: float = 0.0
 
 
 class AsyncPirServer:
@@ -165,10 +254,18 @@ class AsyncPirServer:
     Args:
         server: The wrapped server (table, PRF, backend, residency).
         slo: Batching/latency knobs; see :class:`SloConfig`.
-        admission: Bounded-queue policy; see :class:`AdmissionConfig`.
+        admission: Drain-budget + bounded-queue policy; see
+            :class:`AdmissionConfig`.
         fleet: Optional :class:`FleetScheduler`; when given, merged
             batches are routed across its backends by predicted cost
-            instead of running on ``server.backend``.
+            instead of running on ``server.backend``, and drain-time
+            admission prices against the whole fleet's throughput.
+        qos: Optional :class:`~repro.serve.control.QosPolicy` — per-
+            tenant token buckets and priority classes.  ``None`` treats
+            all traffic as one unlimited interactive tenant.
+        retry: Batch-failure :class:`~repro.serve.control.RetryPolicy`
+            (default: up to 3 attempts, immediate).  Pass
+            ``RetryPolicy(max_attempts=1)`` to disable retries.
         clock: Monotonic time source (injectable for tests).
 
     Use as an async context manager, or call :meth:`start` /
@@ -184,17 +281,29 @@ class AsyncPirServer:
         slo: SloConfig | None = None,
         admission: AdmissionConfig | None = None,
         fleet: FleetScheduler | None = None,
+        qos: QosPolicy | None = None,
+        retry: RetryPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.server = server
         self.slo = slo if slo is not None else SloConfig()
         self.admission = admission if admission is not None else AdmissionConfig()
         self.fleet = fleet
+        self.qos = qos
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = ServingStats()
         self._clock = clock
-        self._pending: deque[_Pending] = deque()
-        self._pending_queries = 0
-        self._pending_arena_bytes = 0
+        self._drain_model = DrainTimeModel(
+            [fleet if fleet is not None else server.backend],
+            flush_batch=self.slo.max_batch,
+        )
+        self._queues: dict[str, deque[_Pending]] = {
+            qos_class: deque() for qos_class in QOS_CLASSES
+        }
+        self._retrying: list[_Pending] = []
+        self._queued_queries = 0
+        self._queued_arena_bytes = 0
+        self._retry_queries = 0
         self._wake: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
         self._stopping = False
@@ -229,10 +338,61 @@ class AsyncPirServer:
 
     @property
     def pending_queries(self) -> int:
-        """Queries currently queued (the admission-controlled quantity)."""
-        return self._pending_queries
+        """Queries queued or awaiting retry (what admission bounds)."""
+        return self._queued_queries + self._retry_queries
 
-    async def submit(self, request_bytes: bytes) -> bytes:
+    def _shed(self, exc: PirServerOverloaded, count: int) -> None:
+        self.stats.shed += count
+        self.stats.shed_reasons[exc.reason] = (
+            self.stats.shed_reasons.get(exc.reason, 0) + count
+        )
+        raise exc
+
+    def _admit(self, query: PirQuery, tenant: str | None, now: float) -> None:
+        """All admission layers, cheapest first; raises to shed.
+
+        Consulted on the frame header only — no key material has been
+        ingested yet, so shedding stays O(header) under overload (the
+        regime admission control exists for).
+        """
+        if self.pending_queries + query.count > self.admission.max_pending:
+            self._shed(
+                PirServerOverloaded(
+                    f"queue holds {self.pending_queries} queries; admitting "
+                    f"{query.count} more would exceed max_pending="
+                    f"{self.admission.max_pending}",
+                    reason=SHED_DEPTH,
+                ),
+                query.count,
+            )
+        if self.qos is not None and not self.qos.admit(tenant, query.count, now):
+            self._shed(
+                TenantRateLimited(
+                    f"tenant {tenant!r} is over its admission rate "
+                    f"({self.qos.spec(tenant).rate_qps:g} qps)"
+                ),
+                query.count,
+            )
+        if self.admission.drain_budget_s is not None:
+            drain = self._drain_model.drain_s(
+                self.pending_queries + query.count,
+                self.server.table_entries,
+                self.server.prf_name,
+                self.server.resident,
+            )
+            if drain > self.admission.drain_budget_s:
+                self._shed(
+                    PirServerOverloaded(
+                        f"admitting {query.count} queries would put modeled "
+                        f"queue drain at {drain:.4f}s, over the "
+                        f"drain_budget_s={self.admission.drain_budget_s:g} "
+                        f"(depth {self.pending_queries})",
+                        reason=SHED_DRAIN,
+                    ),
+                    query.count,
+                )
+
+    async def submit(self, request_bytes: bytes, tenant: str | None = None) -> bytes:
         """Serve one framed query through the aggregation loop.
 
         Returns the framed reply, bit-identical to what a sequential
@@ -244,33 +404,40 @@ class AsyncPirServer:
         racing with) :meth:`stop` raises instead of enqueueing a query
         no flush would ever answer.
 
-        Admission is checked on the frame header *before* key
-        ingestion, so shedding stays O(header) under overload — the
-        regime it exists for.  (A query that is both shed-worthy and
-        malformed therefore sheds rather than reporting its bad keys.)
+        Admission (depth cap, tenant bucket, drain budget) is checked
+        on the frame header *before* key ingestion, so shedding stays
+        O(header) under overload — the regime it exists for.  (A query
+        that is both shed-worthy and malformed therefore sheds rather
+        than reporting its bad keys.)
+
+        Args:
+            request_bytes: One framed :class:`~repro.pir.wire.PirQuery`.
+            tenant: Submitting tenant id for QoS (rate limit + priority
+                class); ``None`` is the anonymous default tenant.
 
         Raises:
             ValueError: Synchronously, on a malformed/mismatched/
                 oversized query (never enters the queue).
             PirServerOverloaded: Synchronously, when admission control
-                sheds the query (bounded queue full).
+                sheds the query (depth cap or drain budget).
+            TenantRateLimited: Synchronously, when the tenant's token
+                bucket is empty (the server itself has capacity).
             RuntimeError: Synchronously, when the loop is stopped.
         """
         if self._stopping:
             raise RuntimeError("serving loop is stopped; no flush would answer this")
         query = PirQuery.from_bytes(request_bytes)
-        if self._pending_queries + query.count > self.admission.max_pending:
-            self.stats.shed += query.count
-            raise PirServerOverloaded(
-                f"queue holds {self._pending_queries} queries; admitting "
-                f"{query.count} more would exceed max_pending="
-                f"{self.admission.max_pending}"
-            )
+        now = self._clock()
+        self._admit(query, tenant, now)
         request = self.server.ingest_query(query)
+        qos_class = self.qos.qos_class(tenant) if self.qos is not None else QOS_CLASSES[0]
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append(_Pending(query, request, future, self._clock()))
-        self._pending_queries += query.count
-        self._pending_arena_bytes += request.arena().nbytes
+        pending = _Pending(
+            query, request, future, now, tenant=tenant, qos=qos_class
+        )
+        self._queues[qos_class].append(pending)
+        self._queued_queries += query.count
+        self._queued_arena_bytes += request.arena().nbytes
         self.stats.submitted += query.count
         if self._wake is not None:
             self._wake.set()
@@ -278,86 +445,191 @@ class AsyncPirServer:
 
     # -- aggregation ---------------------------------------------------
 
+    def _oldest_head(self) -> _Pending | None:
+        """The oldest front-of-queue request across priority classes."""
+        heads = [queue[0] for queue in self._queues.values() if queue]
+        return min(heads, key=lambda p: p.enqueued_at) if heads else None
+
     def _flush_reason(self) -> str | None:
         """The SLO trigger that fires *now*, or None to keep waiting."""
-        if not self._pending:
+        oldest = self._oldest_head()
+        if oldest is None:
             return None
-        if self._pending_queries >= self.slo.max_batch:
+        if self._queued_queries >= self.slo.max_batch:
             return FLUSH_MAX_BATCH
         if (
             self.slo.max_arena_bytes is not None
-            and self._pending_arena_bytes >= self.slo.max_arena_bytes
+            and self._queued_arena_bytes >= self.slo.max_arena_bytes
         ):
             return FLUSH_ARENA_BYTES
-        age = self._clock() - self._pending[0].enqueued_at
-        if age >= self.slo.max_wait_s:
+        if self._clock() - oldest.enqueued_at >= self.slo.max_wait_s:
             return FLUSH_DEADLINE
         return None
 
+    def _wait_timeout(self) -> float | None:
+        """Seconds until the next time-based event (deadline or retry
+        eligibility), or None when only a wake can create work."""
+        candidates = []
+        oldest = self._oldest_head()
+        if oldest is not None:
+            candidates.append(oldest.enqueued_at + self.slo.max_wait_s)
+        if self._retrying:
+            candidates.append(min(p.not_before for p in self._retrying))
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - self._clock())
+
     async def _run(self) -> None:
         while not self._stopping:
+            self._promote_retries()
             reason = self._flush_reason()
             if reason is not None:
                 self._flush(reason)
+                await self._settle()
                 continue
             self._wake.clear()
-            timeout = None
-            if self._pending:
-                deadline = self._pending[0].enqueued_at + self.slo.max_wait_s
-                timeout = max(0.0, deadline - self._clock())
             try:
-                await asyncio.wait_for(self._wake.wait(), timeout)
+                await asyncio.wait_for(self._wake.wait(), self._wait_timeout())
             except asyncio.TimeoutError:
                 pass
-        while self._pending:
+        # Drain: requeue every in-flight retry immediately (backoff is
+        # pointless when the loop is going away) and flush until empty.
+        # Terminates even against an always-failing backend because
+        # each failed dispatch consumes a bounded retry attempt.
+        while self._retrying or any(self._queues.values()):
+            self._promote_retries(force=True)
             self._flush(FLUSH_DRAIN)
+            await self._settle()
+
+    async def _settle(self) -> None:
+        """Let answered callers resume before the next dispatch.
+
+        ``_flush`` resolves futures synchronously, but the awaiting
+        callers only *run* when this task yields — and resuming a
+        caller takes a short ``call_soon`` chain (future → awaiting
+        task → its own awaiters).  Without this yield a train of
+        back-to-back flushes would hold the event loop for its whole
+        synchronous duration, silently charging every earlier batch's
+        callers with every later batch's dispatch time.  Three
+        microtask rounds cover the resume chain's depth; this bounds
+        reply-delivery latency at one flush, independent of queue
+        depth.
+        """
+        for _ in range(3):
+            await asyncio.sleep(0)
+
+    def _promote_retries(self, force: bool = False) -> None:
+        """Move retry-eligible requests back to the *front* of their
+        class queue (they keep their original ``enqueued_at``, so the
+        deadline trigger treats a retried request as the old request it
+        is, not as fresh traffic)."""
+        if not self._retrying:
+            return
+        now = self._clock()
+        eligible = [p for p in self._retrying if force or p.not_before <= now]
+        if not eligible:
+            return
+        self._retrying = [p for p in self._retrying if p not in eligible]
+        # appendleft in newest-first order leaves the oldest at the
+        # very front — seniority survives the round trip through retry.
+        for pending in sorted(eligible, key=lambda p: p.enqueued_at, reverse=True):
+            self._queues[pending.qos].appendleft(pending)
+            self._retry_queries -= pending.query.count
+            self._queued_queries += pending.query.count
+            self._queued_arena_bytes += pending.request.arena().nbytes
+
+    def _purge_cancelled(self) -> None:
+        """Drop pendings whose caller cancelled the awaited future, so
+        a client-side timeout neither evaluates nor counts — the
+        cancelled-future leak fix."""
+        for qos_class, queue in self._queues.items():
+            if any(p.future.done() for p in queue):
+                kept: deque[_Pending] = deque()
+                for pending in queue:
+                    if pending.future.done():
+                        self.stats.cancelled += pending.query.count
+                        self._queued_queries -= pending.query.count
+                        self._queued_arena_bytes -= pending.request.arena().nbytes
+                    else:
+                        kept.append(pending)
+                self._queues[qos_class] = kept
+        cancelled_retries = [p for p in self._retrying if p.future.done()]
+        for pending in cancelled_retries:
+            self.stats.cancelled += pending.query.count
+            self._retry_queries -= pending.query.count
+        if cancelled_retries:
+            self._retrying = [p for p in self._retrying if not p.future.done()]
+
+    def _take_order(self) -> list[str]:
+        """Priority order for this batch: interactive first, unless the
+        oldest waiting batch-class request has starved past the QoS
+        policy's ``starvation_s`` bound."""
+        order = list(QOS_CLASSES)
+        if self.qos is None:
+            return order
+        batch_queue = self._queues[QOS_CLASSES[1]]
+        if batch_queue and (
+            self._clock() - batch_queue[0].enqueued_at >= self.qos.starvation_s
+        ):
+            order.reverse()
+        return order
 
     def _take_batch(self) -> list[_Pending]:
         """Pop whole requests until adding the next would exceed
         ``max_batch`` queries or the ``max_arena_bytes`` budget (always
         at least one, so a single request larger than either cap —
-        legal unless the server caps it — still flushes alone)."""
-        taken = []
+        legal unless the server caps it — still flushes alone).
+        Cancelled requests are purged first, so they are never merged
+        into the fused batch."""
+        self._purge_cancelled()
+        taken: list[_Pending] = []
         count = 0
         taken_bytes = 0
         budget = self.slo.max_arena_bytes
-        while self._pending:
-            nxt = self._pending[0]
-            nxt_bytes = nxt.request.arena().nbytes
-            if taken and (
-                count + nxt.query.count > self.slo.max_batch
-                or (budget is not None and taken_bytes + nxt_bytes > budget)
-            ):
-                break
-            taken.append(self._pending.popleft())
-            count += nxt.query.count
-            taken_bytes += nxt_bytes
-            self._pending_arena_bytes -= nxt_bytes
-        self._pending_queries -= count
+        for qos_class in self._take_order():
+            queue = self._queues[qos_class]
+            while queue:
+                nxt = queue[0]
+                nxt_bytes = nxt.request.arena().nbytes
+                if taken and (
+                    count + nxt.query.count > self.slo.max_batch
+                    or (budget is not None and taken_bytes + nxt_bytes > budget)
+                ):
+                    self._queued_queries -= count
+                    return taken
+                taken.append(queue.popleft())
+                count += nxt.query.count
+                taken_bytes += nxt_bytes
+                self._queued_arena_bytes -= nxt_bytes
+        self._queued_queries -= count
         return taken
 
     def _flush(self, reason: str) -> None:
         taken = self._take_batch()
+        if not taken:  # everything pending had been cancelled
+            return
+        merged = None
+        sizes: tuple[int, ...] = ()
+        decision = None
         try:
             merged, sizes = EvalRequest.merge([p.request for p in taken])
             if self.fleet is not None:
                 result, decision = self.fleet.dispatch(merged)
-                self.stats.routes[decision.backend_label] = (
-                    self.stats.routes.get(decision.backend_label, 0) + 1
-                )
             else:
                 result = self.server.backend.run(merged)
             # One combine for the whole fused batch, then per-request
             # slicing — the demux is row offsets, nothing recomputed.
             answers = self.server.combine(result.answers)
-        except Exception as exc:  # pragma: no cover - backend failure path
-            for pending in taken:
-                if not pending.future.done():
-                    pending.future.set_exception(exc)
+        except Exception as exc:
+            self._requeue_or_fail(taken, merged, sizes, exc)
             return
         self.stats.batches += 1
         self.stats.largest_batch = max(self.stats.largest_batch, int(answers.size))
         self.stats.flushes[reason] = self.stats.flushes.get(reason, 0) + 1
+        if decision is not None:
+            self.stats.routes[decision.backend_label] = (
+                self.stats.routes.get(decision.backend_label, 0) + 1
+            )
         offset = 0
         for pending, size in zip(taken, sizes):
             reply = PirReply(
@@ -365,6 +637,46 @@ class AsyncPirServer:
                 answers=answers[offset : offset + size],
             ).to_bytes()
             offset += size
+            if pending.future.done():
+                # The caller cancelled while the batch was in flight;
+                # the work is sunk cost but must not count as answered.
+                self.stats.cancelled += size
+                continue
+            pending.future.set_result(reply)
             self.stats.answered += size
-            if not pending.future.done():
-                pending.future.set_result(reply)
+
+    def _requeue_or_fail(
+        self,
+        taken: list[_Pending],
+        merged: EvalRequest | None,
+        sizes: tuple[int, ...],
+        exc: Exception,
+    ) -> None:
+        """Contain a failed batch dispatch: un-merge, requeue survivors
+        within their retry budget, fail the rest *individually*."""
+        now = self._clock()
+        reason = type(exc).__name__
+        self.stats.failures[reason] = self.stats.failures.get(reason, 0) + 1
+        # Each survivor retries on a zero-copy slice of the merged
+        # arena when the merge got that far; a pre-merge failure just
+        # requeues the original per-request requests.
+        if merged is not None and len(sizes) == len(taken):
+            requests = EvalRequest.unmerge(merged, sizes)
+        else:
+            requests = [p.request for p in taken]
+        for pending, request in zip(taken, requests):
+            if pending.future.done():
+                self.stats.cancelled += pending.query.count
+                continue
+            pending.attempts += 1
+            if self.retry.allows_retry(pending.attempts, pending.backoff_used_s):
+                backoff = self.retry.next_backoff_s(pending.attempts)
+                pending.backoff_used_s += backoff
+                pending.not_before = now + backoff
+                pending.request = request
+                self._retrying.append(pending)
+                self._retry_queries += pending.query.count
+                self.stats.retried += pending.query.count
+            else:
+                pending.future.set_exception(exc)
+                self.stats.failed += pending.query.count

@@ -139,3 +139,63 @@ class TestArenaConcat:
             )
         with pytest.raises(ValueError, match="at least one"):
             KeyArena.concat([])
+
+
+class TestUnmerge:
+    """`unmerge` is the retry path's inverse of `merge`: each returned
+    request must carry exactly its constituent's keys, as a zero-copy
+    slice of the merged arena."""
+
+    def _merged(self, sizes=(1, 3, 2), **kwargs):
+        requests = [
+            EvalRequest(keys=_keys(b, seed=b), prf_name="siphash", **kwargs)
+            for b in sizes
+        ]
+        merged, got_sizes = EvalRequest.merge(requests)
+        assert got_sizes == sizes
+        return requests, merged, got_sizes
+
+    def test_round_trips_the_merge(self):
+        requests, merged, sizes = self._merged()
+        pieces = EvalRequest.unmerge(merged, sizes)
+        assert len(pieces) == len(requests)
+        for piece, original in zip(pieces, requests):
+            assert piece.arena() == original.arena()
+        # Re-merging the pieces reproduces the fused batch bit for bit.
+        remerged, resizes = EvalRequest.merge(pieces)
+        assert resizes == sizes
+        assert remerged.arena() == merged.arena()
+
+    def test_slices_are_zero_copy_views(self):
+        _, merged, sizes = self._merged()
+        for piece in EvalRequest.unmerge(merged, sizes):
+            arena = piece.arena()
+            assert arena.cw_seeds.base is not None  # a view of merged
+            assert arena.roots.base is not None
+
+    def test_pieces_run_identically_to_the_originals(self):
+        """Unmerged slices evaluate to exactly the rows the merged
+        batch produced — what bit-exact retry rests on."""
+        backend = SingleGpuBackend()
+        _, merged, sizes = self._merged()
+        merged_rows = backend.run(merged).split(sizes)
+        for piece, rows in zip(EvalRequest.unmerge(merged, sizes), merged_rows):
+            assert np.array_equal(backend.run(piece).answers, rows)
+
+    def test_inherits_merged_settings(self):
+        _, merged, sizes = self._merged(
+            resident=True, entry_bytes=16, slo_latency_s=0.25
+        )
+        for piece in EvalRequest.unmerge(merged, sizes):
+            assert piece.resident and piece.entry_bytes == 16
+            assert piece.slo_latency_s == 0.25
+            assert piece.prf_name == "siphash"
+
+    def test_validates_sizes(self):
+        _, merged, _ = self._merged()
+        with pytest.raises(ValueError, match="sum to 4"):
+            EvalRequest.unmerge(merged, (1, 3))
+        with pytest.raises(ValueError, match="positive"):
+            EvalRequest.unmerge(merged, (6, 0))
+        with pytest.raises(ValueError, match="at least one"):
+            EvalRequest.unmerge(merged, ())

@@ -182,3 +182,130 @@ class TestSubmitValidation:
             assert loop.stats.submitted == 0
 
         asyncio.run(run())
+
+
+class TestCancellation:
+    """The cancelled-future leak fix: a caller that gives up must not
+    have its query fused, evaluated, or counted as answered."""
+
+    def _fixture(self, domain=32, seed=0):
+        rng = np.random.default_rng(seed)
+        table = rng.integers(0, 1 << 64, size=domain, dtype=np.uint64)
+        server = PirServer(table, prf_name="siphash")
+        client = PirClient(domain, "siphash", rng=np.random.default_rng(seed + 1))
+        return table, server, client
+
+    def test_cancelled_mid_queue_is_purged_before_merging(self):
+        """A query cancelled while waiting in the queue never reaches
+        the backend: the fused batch holds only live requests, and the
+        counters say cancelled, not answered."""
+        table, server, client = self._fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2, 3])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=1024, max_wait_s=30.0)
+            )
+            tasks = [
+                asyncio.create_task(loop.submit(frame)) for frame in frames
+            ]
+            while loop.pending_queries < 3:
+                await asyncio.sleep(0)
+            tasks[1].cancel()
+            await loop.start()
+            await loop.stop()
+            survivors = await asyncio.gather(tasks[0], tasks[2])
+            with pytest.raises(asyncio.CancelledError):
+                await tasks[1]
+            return loop, survivors
+
+        loop, survivors = asyncio.run(run())
+        assert survivors == [server.handle(frames[0]), server.handle(frames[2])]
+        assert loop.stats.cancelled == 1
+        assert loop.stats.answered == 2
+        assert loop.stats.largest_batch == 2  # the cancelled one wasn't fused
+        assert loop.stats.mean_batch == 2.0
+        assert loop.stats.submitted == 3
+
+    def test_cancel_racing_the_dispatch_is_dropped_at_demux(self):
+        """A cancel that lands while the batch is already on the
+        backend is sunk cost: the reply is discarded, counted under
+        cancelled, never answered."""
+        table, server, client = self._fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2])]
+        victim_task = {}
+
+        class CancelDuringRun:
+            """Backend wrapper that cancels a caller mid-dispatch."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.name = inner.name
+
+            def plan(self, request):
+                return self.inner.plan(request)
+
+            def model_latency_s(self, *args, **kwargs):
+                return self.inner.model_latency_s(*args, **kwargs)
+
+            def run(self, request):
+                if victim_task:
+                    victim_task.pop("task").cancel()
+                return self.inner.run(request)
+
+        server.backend = CancelDuringRun(server.backend)
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=2, max_wait_s=30.0)
+            )
+            tasks = [
+                asyncio.create_task(loop.submit(frame)) for frame in frames
+            ]
+            while loop.pending_queries < 2:
+                await asyncio.sleep(0)
+            victim_task["task"] = tasks[1]
+            async with loop:
+                survivor = await tasks[0]
+            with pytest.raises(asyncio.CancelledError):
+                await tasks[1]
+            return loop, survivor
+
+        loop, survivor = asyncio.run(run())
+        assert survivor == server.handle(frames[0])
+        assert loop.stats.cancelled == 1
+        assert loop.stats.answered == 1
+        assert loop.stats.largest_batch == 2  # it *was* fused — too late
+
+    def test_cancelled_retry_is_purged_from_the_retry_pen(self):
+        """A query parked for its retry backoff can still be cancelled;
+        the next flush purges it instead of re-dispatching it."""
+        from repro.serve import FaultPlan, FlakyBackend, RetryPolicy
+
+        table, server, client = self._fixture()
+        server.backend = FlakyBackend(server.backend, FaultPlan.nth(1))
+        frames = [b.requests[0] for b in client.query_many([1, 2])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=1, max_wait_s=0.005),
+                retry=RetryPolicy(max_attempts=3, backoff_s=10.0),
+            )
+            async with loop:
+                first = asyncio.create_task(loop.submit(frames[0]))
+                # Wait for the injected fault to park it in the pen.
+                while loop.stats.retried < 1:
+                    await asyncio.sleep(0)
+                first.cancel()
+                second = await loop.submit(frames[1])
+            with pytest.raises(asyncio.CancelledError):
+                await first
+            return loop, second
+
+        loop, second = asyncio.run(run())
+        assert second == server.handle(frames[1])
+        assert loop.stats.retried == 1
+        assert loop.stats.cancelled == 1
+        assert loop.stats.answered == 1
+        assert loop.stats.failed == 0

@@ -300,3 +300,94 @@ class TestConfigValidation:
     def test_admission_rejects_nonsense(self):
         with pytest.raises(ValueError, match="max_pending"):
             AdmissionConfig(max_pending=0)
+
+
+class TestRestartLifecycle:
+    """Stop → start is a supported cycle: stats persist, the queue
+    re-opens, and drain flushes obey the same SLO caps as live ones."""
+
+    def test_submit_during_stop_raises(self):
+        """A submission racing an in-progress stop() is refused — it
+        could otherwise enqueue a query no flush would ever answer."""
+        table, server, client = _fixture()
+        frame = client.query([1]).requests[0]
+
+        async def run():
+            loop = AsyncPirServer(server)
+            await loop.start()
+            await loop.submit(frame)
+            stopping = asyncio.create_task(loop.stop())
+            await asyncio.sleep(0)  # stop() has set the flag, not finished
+            with pytest.raises(RuntimeError, match="stopped"):
+                await loop.submit(frame)
+            await stopping
+
+        asyncio.run(run())
+
+    def test_restarted_loop_serves_again_and_keeps_stats(self):
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2])]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=1, max_wait_s=NEVER)
+            )
+            async with loop:
+                first = await loop.submit(frames[0])
+            async with loop:
+                second = await loop.submit(frames[1])
+            return loop, [first, second]
+
+        loop, replies = asyncio.run(run())
+        assert replies == [server.handle(f) for f in frames]
+        assert loop.stats.answered == 2  # counters span both lifetimes
+        assert loop.stats.batches == 2
+
+    def test_drain_respects_max_batch(self):
+        """Draining a deep backlog flushes in max_batch-sized fused
+        batches — stop() gets no oversized-kernel exemption."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many(list(range(8)))]
+
+        async def run():
+            loop = AsyncPirServer(
+                server, slo=SloConfig(max_batch=3, max_wait_s=NEVER)
+            )
+            tasks = await _backlog(loop, frames)
+            await loop.start()
+            await loop.stop()
+            return loop, await asyncio.gather(*tasks)
+
+        loop, replies = asyncio.run(run())
+        assert replies == [server.handle(f) for f in frames]
+        # 8 queries drain as 3+3+2; the first two may fire as max-batch
+        # flushes if the loop wins the race, but every drain flush is
+        # capped at 3.
+        assert loop.stats.batches == 3
+        assert loop.stats.largest_batch == 3
+        assert loop.stats.flushes.get(FLUSH_DRAIN, 0) >= 1
+
+    def test_drain_respects_arena_bytes_budget(self):
+        """The arena-bytes cap bounds drain flushes too."""
+        table, server, client = _fixture()
+        frames = [b.requests[0] for b in client.query_many([1, 2, 3, 4])]
+        per_request = server.parse_query(frames[0])[1].arena().nbytes
+
+        async def run():
+            loop = AsyncPirServer(
+                server,
+                slo=SloConfig(
+                    max_batch=1024,
+                    max_wait_s=NEVER,
+                    max_arena_bytes=2 * per_request,
+                ),
+            )
+            tasks = await _backlog(loop, frames)
+            await loop.start()
+            await loop.stop()
+            return loop, await asyncio.gather(*tasks)
+
+        loop, replies = asyncio.run(run())
+        assert replies == [server.handle(f) for f in frames]
+        assert loop.stats.batches == 2
+        assert loop.stats.largest_batch == 2
