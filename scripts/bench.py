@@ -136,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"  load={load} slo={r.slo_ms:g}ms "
                 f"p50={r.p50_ms:.2f}ms p99={r.p99_ms:.2f}ms"
             )
+            if r.shards:
+                line += f" shards={r.shards}x{r.replicas}"
+                if r.ejections or r.failovers:
+                    line += f" ejections={r.ejections} failovers={r.failovers}"
         print(line)
     return 0
 

@@ -18,11 +18,22 @@ fault-tolerance claim end to end: the failed fused batch is un-merged
 and retried, no query fails or is shed, and every answer is *still*
 bit-exact.
 
+With ``--shards N`` the session serves from a sharded, replicated
+front-end (`repro.serve.ShardedPirServer`, N contiguous sub-ranges
+with two replicas each) instead of a fleet, asserting the shard
+partials recombine bit-exact through the aggregation loop.  Combined
+with ``--chaos``, replica 0 of *every* shard is killed permanently on
+its first dispatch mid-session: the replica sets must eject the dead
+replicas, fail the in-flight batches over to the surviving siblings,
+and every answer must still be bit-exact with zero queries failed.
+
 Exit status is the assertion outcome, so this is runnable as a bare CI
 step with only numpy installed:
 
     PYTHONPATH=src python scripts/serve_smoke.py
     PYTHONPATH=src python scripts/serve_smoke.py --chaos
+    PYTHONPATH=src python scripts/serve_smoke.py --shards 3
+    PYTHONPATH=src python scripts/serve_smoke.py --shards 3 --chaos
 """
 
 from __future__ import annotations
@@ -40,9 +51,12 @@ from repro.gpu.device import A100, V100  # noqa: E402
 from repro.pir import PirClient, PirServer  # noqa: E402
 from repro.serve import (  # noqa: E402
     AsyncPirServer,
+    EJECTED,
     FaultPlan,
+    FlakyBackend,
     FleetScheduler,
     RetryPolicy,
+    ShardedPirServer,
     SloConfig,
     flaky_fleet,
     generate_load,
@@ -53,7 +67,92 @@ CLIENTS = 24
 PRF = "chacha20"
 
 
-def main(chaos: bool = False) -> int:
+def run_sharded(chaos: bool, shards: int) -> int:
+    """The sharded session: N shards x 2 replicas, optional replica kill."""
+    rng = np.random.default_rng(2024)
+    table = rng.integers(0, 1 << 64, size=TABLE_ENTRIES, dtype=np.uint64)
+    indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
+    client = PirClient(TABLE_ENTRIES, PRF, rng=np.random.default_rng(7))
+
+    def replica_backend(shard: int, replica: int):
+        inner = SingleGpuBackend(A100 if replica else V100)
+        if chaos and replica == 0:
+            # Replica 0 of every shard dies for good on its first
+            # dispatch — the kill lands mid-session, once traffic flows.
+            return FlakyBackend(inner, FaultPlan.after(1))
+        return inner
+
+    def make_server():
+        return ShardedPirServer(
+            table,
+            shards=shards,
+            replicas=2,
+            backend_factory=replica_backend,
+            retry=RetryPolicy(max_attempts=2),
+            rejoin_after=None,  # a killed replica stays dead; no rejoin noise
+            prf_name=PRF,
+        )
+
+    servers = [make_server() for _ in range(2)]
+
+    async def session():
+        loops = [
+            AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=8, max_wait_s=5e-3),
+                retry=RetryPolicy(max_attempts=3),
+            )
+            for server in servers
+        ]
+        async with loops[0], loops[1]:
+            report = await generate_load(client, loops, indices)
+        return report, loops
+
+    report, loops = asyncio.run(session())
+
+    assert report.shed == 0, f"admission control shed {report.shed} queries"
+    assert report.answered == CLIENTS, (
+        f"answered {report.answered} of {CLIENTS} queries"
+    )
+    assert np.array_equal(report.answers, table[np.array(report.indices)]), (
+        "sharded answers diverged from the table — recombination is broken"
+    )
+    for party, (server, loop) in enumerate(zip(servers, loops)):
+        stats = loop.stats
+        totals = server.stats_totals()
+        assert server.shard_count == shards
+        assert stats.largest_batch > 1, f"party {party} fused no batch"
+        assert stats.failed == 0, f"party {party} failed {stats.failed} queries"
+        if chaos:
+            assert totals.ejections >= shards, (
+                f"party {party} ejected {totals.ejections} replicas; every "
+                f"shard's replica 0 was killed ({shards} expected)"
+            )
+            assert totals.failovers >= 1, (
+                f"party {party} recorded no failover — the kill never "
+                "caught a batch in flight"
+            )
+            assert all(
+                states[0] == EJECTED for states in server.replica_states()
+            ), f"party {party} kept a dead replica: {server.replica_states()}"
+        print(
+            f"party {party}: {stats.answered} queries in {stats.batches} "
+            f"batches across {shards}x2 replicas, "
+            f"retries={totals.retries} ejections={totals.ejections} "
+            f"failovers={totals.failovers}, states={server.replica_states()}"
+        )
+    label = "serve-smoke (sharded, chaos) ok" if chaos else "serve-smoke (sharded) ok"
+    print(
+        f"{label}: {report.answered} answers bit-exact across {shards} shards, "
+        f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms "
+        f"({report.achieved_qps:.0f} qps)"
+    )
+    return 0
+
+
+def main(chaos: bool = False, shards: int = 0) -> int:
+    if shards:
+        return run_sharded(chaos, shards)
     rng = np.random.default_rng(2024)
     table = rng.integers(0, 1 << 64, size=TABLE_ENTRIES, dtype=np.uint64)
     indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
@@ -137,5 +236,19 @@ def main(chaos: bool = False) -> int:
     return 0
 
 
+def _parse_shards(argv: list[str]) -> int:
+    if "--shards" not in argv:
+        return 0
+    try:
+        shards = int(argv[argv.index("--shards") + 1])
+    except (IndexError, ValueError):
+        raise SystemExit("--shards needs an integer argument")
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    return shards
+
+
 if __name__ == "__main__":
-    raise SystemExit(main(chaos="--chaos" in sys.argv[1:]))
+    raise SystemExit(
+        main(chaos="--chaos" in sys.argv[1:], shards=_parse_shards(sys.argv[1:]))
+    )

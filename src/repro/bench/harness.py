@@ -53,6 +53,7 @@ from repro.serve import (
     LoadReport,
     QosPolicy,
     RetryPolicy,
+    ShardedPirServer,
     SloConfig,
     TenantSpec,
     generate_load,
@@ -118,10 +119,28 @@ Two control-plane scenario axes ride on serving cases:
   and a batch-class tenant under a :class:`~repro.serve.QosPolicy`,
   and reports per-class p99 (``interactive_p99_ms`` / ``batch_p99_ms``)
   so the priority separation is a measured number, not a promise.
+
+Sharded scenarios ride on the same family: ``shards > 0`` serves the
+session from a :class:`~repro.serve.ShardedPirServer` (``shards``
+contiguous sub-ranges, ``replicas`` backends each) instead of a plain
+:class:`~repro.pir.PirServer`, and ``chaos="replica_kill"`` permanently
+kills replica 0 of every shard from its first dispatch — the row's
+latency includes the retry/eject/failover recovery cost, and the
+``ejections`` / ``failovers`` counters report the health transitions
+the session actually took.  Verification still requires every answer
+bit-exact against the table, so a sharded row is also a recombination
+correctness check under fire.
 """
 
-SERVING_CHAOS_MODES = ("", "fail_once")
-"""Accepted ``chaos`` axis values for :data:`SERVING` cases."""
+SERVING_CHAOS_MODES = ("", "fail_once", "replica_kill")
+"""Accepted ``chaos`` axis values for :data:`SERVING` cases.
+
+``fail_once`` is the loop-level scenario (each party's backend kills
+its first fused batch; the aggregation loop retries).  ``replica_kill``
+is the shard-level scenario (replica 0 of every shard dies for good;
+the replica set ejects it and fails the in-flight batch over to a
+sibling) and therefore requires ``shards > 0`` and ``replicas >= 2``.
+"""
 
 SERVING_QOS_MODES = ("", "mixed")
 """Accepted ``qos`` axis values for :data:`SERVING` cases."""
@@ -138,13 +157,14 @@ INGEST_MODES = ("objects", "wire", "arena")
   work is evaluation only.
 """
 
-SCHEMA_VERSION = 6
-"""Bumped to 6 with the serving control plane: cases grew the ``chaos``
-/ ``qos`` scenario axes and results grew the ``shed`` / ``retried`` /
-``failed`` query counters plus per-class ``interactive_p99_ms`` /
-``batch_p99_ms`` percentiles (0/empty for non-serving rows).  Schema 5
-added the ``serving`` family itself (``offered_qps`` / ``slo_ms`` axes,
-``p50_ms`` / ``p99_ms`` results)."""
+SCHEMA_VERSION = 7
+"""Bumped to 7 with sharded serving: cases grew the ``shards`` /
+``replicas`` axes (0/1 = the unsharded server), the ``chaos`` axis
+grew ``"replica_kill"``, and results grew the ``ejections`` /
+``failovers`` replica-health counters (0 for non-sharded rows).
+Schema 6 added the serving control plane (``chaos`` / ``qos`` axes,
+``shed`` / ``retried`` / ``failed`` counters, per-class percentiles);
+schema 5 the ``serving`` family itself."""
 
 
 @dataclass(frozen=True)
@@ -169,6 +189,11 @@ class BenchCase:
             (see :data:`SERVING_CHAOS_MODES`; "" = healthy backends).
         qos: :data:`SERVING` cases only — traffic-class scenario (see
             :data:`SERVING_QOS_MODES`; "" = one implicit class).
+        shards: :data:`SERVING` cases only — serve from a
+            :class:`~repro.serve.ShardedPirServer` split into this many
+            contiguous sub-ranges (0 = the plain unsharded server).
+        replicas: :data:`SERVING` cases only — backends per shard
+            (meaningful only with ``shards > 0``).
     """
 
     prf: str
@@ -182,6 +207,8 @@ class BenchCase:
     slo_ms: float = 0.0
     chaos: str = ""
     qos: str = ""
+    shards: int = 0
+    replicas: int = 1
 
     @property
     def domain_size(self) -> int:
@@ -197,6 +224,8 @@ class BenchCase:
         if self.strategy == SERVING:
             load = f"{self.offered_qps:g}" if self.offered_qps > 0 else "burst"
             label += f" load={load} slo={self.slo_ms:g}ms"
+            if self.shards:
+                label += f" shards={self.shards}x{self.replicas}"
             if self.chaos:
                 label += f" chaos={self.chaos}"
             if self.qos:
@@ -214,7 +243,11 @@ class BenchResult:
     session shed at admission, requeued after a backend failure, and
     failed after retry exhaustion; ``interactive_p99_ms`` /
     ``batch_p99_ms`` are per-class percentiles for ``qos="mixed"``
-    rows.  All are meaningful for :data:`SERVING` rows and 0/"" elsewhere.
+    rows.  ``shards`` / ``replicas`` echo the sharding axes and
+    ``ejections`` / ``failovers`` sum the replica-health transitions
+    across both parties' reported sessions (nonzero only for
+    ``chaos="replica_kill"`` rows).  All are meaningful for
+    :data:`SERVING` rows and 0/"" elsewhere.
     """
 
     prf: str
@@ -240,6 +273,10 @@ class BenchResult:
     failed: int = 0
     interactive_p99_ms: float = 0.0
     batch_p99_ms: float = 0.0
+    shards: int = 0
+    replicas: int = 1
+    ejections: int = 0
+    failovers: int = 0
 
 
 def _reference_blocks(batch: int, log_domain: int) -> int:
@@ -282,6 +319,8 @@ def _result(
     failed: int = 0,
     interactive_p99_ms: float = 0.0,
     batch_p99_ms: float = 0.0,
+    ejections: int = 0,
+    failovers: int = 0,
 ) -> BenchResult:
     return BenchResult(
         prf=case.prf,
@@ -307,6 +346,10 @@ def _result(
         failed=failed,
         interactive_p99_ms=interactive_p99_ms,
         batch_p99_ms=batch_p99_ms,
+        shards=case.shards,
+        replicas=case.replicas,
+        ejections=ejections,
+        failovers=failovers,
     )
 
 
@@ -383,6 +426,13 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
     backend so its first dispatch dies (the recovery cost lands in the
     row); ``qos="mixed"`` splits clients into an interactive-class and
     a batch-class tenant and reports per-class p99.
+
+    With ``case.shards > 0`` each party serves from a
+    :class:`ShardedPirServer` (``case.replicas`` backends per shard)
+    and the row additionally reports the summed replica-health
+    counters; ``chaos="replica_kill"`` permanently kills replica 0 of
+    every shard from its first dispatch, so the row prices ejection
+    plus failover rather than a transient retry.
     """
     if case.slo_ms <= 0:
         raise ValueError(f"serving cases need a positive slo_ms, got {case.slo_ms}")
@@ -392,6 +442,18 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
         )
     if case.qos not in SERVING_QOS_MODES:
         raise ValueError(f"unknown qos mode {case.qos!r}; use {SERVING_QOS_MODES}")
+    if case.shards < 0 or case.replicas < 1:
+        raise ValueError(
+            f"serving cases need shards >= 0 and replicas >= 1, got "
+            f"shards={case.shards} replicas={case.replicas}"
+        )
+    if case.replicas > 1 and not case.shards:
+        raise ValueError("replicas > 1 needs a sharded server (shards > 0)")
+    if case.chaos == "replica_kill" and (not case.shards or case.replicas < 2):
+        raise ValueError(
+            "chaos='replica_kill' needs shards > 0 and replicas >= 2 "
+            "(a surviving sibling to fail over to)"
+        )
     rng = np.random.default_rng(11)
     table = rng.integers(0, 1 << 64, size=case.domain_size, dtype=np.uint64)
     indices = rng.integers(0, case.domain_size, size=case.batch).tolist()
@@ -429,16 +491,35 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
             return FlakyBackend(inner, FaultPlan.nth(1))
         return inner
 
-    def session() -> LoadReport:
-        servers = [
-            PirServer(
+    def replica_backend(shard: int, replica: int):
+        inner = SingleGpuBackend()
+        if case.chaos == "fail_once":
+            # Every replica's first dispatch dies: the set retries in
+            # place, so the row prices the transient-fault recovery.
+            return FlakyBackend(inner, FaultPlan.nth(1))
+        if case.chaos == "replica_kill" and replica == 0:
+            # Replica 0 of every shard dies for good on first dispatch:
+            # the set ejects it and fails over, so the row prices the
+            # permanent-loss path.
+            return FlakyBackend(inner, FaultPlan.after(1))
+        return inner
+
+    def make_server():
+        if case.shards:
+            return ShardedPirServer(
                 table,
-                backend=backend(),
+                shards=case.shards,
+                replicas=case.replicas,
+                backend_factory=replica_backend,
                 prf_name=case.prf,
                 resident=resident,
             )
-            for _ in range(2)
-        ]
+        return PirServer(
+            table, backend=backend(), prf_name=case.prf, resident=resident
+        )
+
+    def session() -> tuple[LoadReport, dict]:
+        servers = [make_server() for _ in range(2)]
         client = PirClient(case.domain_size, case.prf, rng=np.random.default_rng(13))
 
         async def run():
@@ -461,18 +542,33 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
                     tenants=tenants,
                 )
 
-        return asyncio.run(run())
+        report = asyncio.run(run())
+        health = {"retries": 0, "ejections": 0, "failovers": 0}
+        if case.shards:
+            for server in servers:
+                totals = server.stats_totals()
+                health["retries"] += totals.retries
+                health["ejections"] += totals.ejections
+                health["failovers"] += totals.failovers
+        return report, health
 
     verified = False
     if verify:
-        report = session()
+        report, health = session()
         if report.shed:
             raise ValueError(f"serving session shed {report.shed} queries for {case}")
         if report.failed:
             raise ValueError(
                 f"serving session failed {report.failed} queries for {case}"
             )
-        if case.chaos and not report.retried:
+        if case.chaos == "replica_kill" and not (
+            health["ejections"] and health["failovers"]
+        ):
+            raise ValueError(
+                f"replica_kill scenario caused no ejection/failover for {case}: "
+                f"{health}"
+            )
+        elif case.chaos and not (report.retried or health["retries"]):
             raise ValueError(
                 f"chaos scenario injected no retried queries for {case}"
             )
@@ -483,10 +579,12 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
     for _ in range(case.warmup):
         session()
     best = None
+    best_health = None
     for _ in range(case.repeats):
-        report = session()
+        report, health = session()
         if best is None or report.wall_s < best.wall_s:
             best = report
+            best_health = health
     return _result(
         case,
         best.wall_s,
@@ -508,6 +606,8 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
             if case.qos == "mixed"
             else 0.0
         ),
+        ejections=best_health["ejections"],
+        failovers=best_health["failovers"],
     )
 
 
@@ -633,7 +733,9 @@ def default_grid(
       objects/wire/arena serving paths.
     * :data:`SERVING` cases run the async batch-aggregation loop at the
       small table size across a {burst, paced} x {tight, loose SLO}
-      grid — QPS and p50/p99 latency vs offered load and deadline.
+      grid — QPS and p50/p99 latency vs offered load and deadline —
+      plus sharded rows (2/4 shards, a 2x2 replicated set, and a
+      replica-kill failover scenario) against their unsharded twin.
     """
     prfs = list(prfs) if prfs is not None else available_prfs()
     # The INGEST micro-cases, PIR round trips, and serving sessions ride
@@ -755,6 +857,31 @@ def default_grid(
                     qos=qos,
                 )
             )
+        # Sharded serving: the same burst session across shard widths
+        # (sharding overhead vs the unsharded twin above), a replicated
+        # set, and the replica-kill failover scenario — ejection plus
+        # failover priced against its healthy 2x2 twin.
+        for shards, replicas, chaos in (
+            (2, 1, ""),
+            (4, 1, ""),
+            (2, 2, ""),
+            (2, 2, "replica_kill"),
+        ):
+            cases.append(
+                BenchCase(
+                    ingest_prf,
+                    SERVING,
+                    32,
+                    min(log_domains),
+                    ingest="wire",
+                    repeats=repeats,
+                    offered_qps=0.0,
+                    slo_ms=8.0,
+                    chaos=chaos,
+                    shards=shards,
+                    replicas=replicas,
+                )
+            )
     return cases
 
 
@@ -762,9 +889,11 @@ def smoke_grid() -> list[BenchCase]:
     """A seconds-long grid for CI: every strategy once, two PRFs,
     plus one wire-ingest eval, one persistent-arena eval, one ingestion
     micro-case, the end-to-end PIR round trip on every serving path,
-    and three async serving sessions (healthy, fail-once chaos, mixed
-    QoS), so every ingest mode, the pipeline, the aggregation loop,
-    and the fault-tolerant control plane all stay exercised."""
+    and five async serving sessions (healthy, fail-once chaos, mixed
+    QoS, sharded, and sharded replica-kill failover), so every ingest
+    mode, the pipeline, the aggregation loop, the fault-tolerant
+    control plane, and the sharded/replicated front-end all stay
+    exercised."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
@@ -819,6 +948,38 @@ def smoke_grid() -> list[BenchCase]:
             offered_qps=0.0,
             slo_ms=2.0,
             qos="mixed",
+        )
+    )
+    # Sharded smoke: recombination across shards stays bit-exact, and
+    # a permanent replica loss still recovers via ejection + failover.
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+            shards=2,
+        )
+    )
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+            chaos="replica_kill",
+            shards=2,
+            replicas=2,
         )
     )
     for strategy in available_strategies():

@@ -12,10 +12,11 @@ O(lambda L) evaluation:
   ``Eval`` and every GPU parallelization strategy.
 * :mod:`repro.dpf.keys` — key material and wire serialization (the
   "Bytes" column of the paper's Table 4).
-* :mod:`repro.dpf.dpf` — ``gen`` / ``eval_full`` / ``eval_points``.
+* :mod:`repro.dpf.dpf` — ``gen`` / ``eval_full`` / ``eval_range`` /
+  ``eval_points``.
 """
 
-from repro.dpf.dpf import eval_full, eval_points, gen
+from repro.dpf.dpf import eval_full, eval_points, eval_range, gen
 from repro.dpf.ggm import convert_to_u64, expand_level, prg_expand
 from repro.dpf.keys import (
     CorrectionWord,
@@ -30,6 +31,7 @@ from repro.dpf.keys import (
 __all__ = [
     "gen",
     "eval_full",
+    "eval_range",
     "eval_points",
     "DpfKey",
     "CorrectionWord",

@@ -155,6 +155,55 @@ def eval_full(key: DpfKey, prf: Prf) -> np.ndarray:
     return values[_bitrev_perm(n)[: key.domain_size]]
 
 
+def eval_range(key: DpfKey, prf: Prf, lo: int, hi: int) -> np.ndarray:
+    """Expand a key over the contiguous sub-domain ``[lo, hi)`` only.
+
+    This is the shard-server evaluation path: a server holding rows
+    ``[lo, hi)`` of the table needs the key's shares on exactly those
+    rows, and expanding the whole tree to throw most of it away would
+    make sharding a no-op for compute.  The walk keeps, per level, only
+    the GGM nodes whose subtrees intersect ``[lo, hi)`` — in natural
+    index order that set is one contiguous window
+    ``[lo >> shift, (hi - 1) >> shift]``, so each level is a single
+    :func:`repro.dpf.ggm.expand_level` over the window followed by a
+    clip.  Cost is ``O((hi - lo) + log L)`` PRF pairs instead of
+    ``O(L)``.
+
+    Returns:
+        ``(hi - lo,)`` uint64 output shares, bit-identical to
+        ``eval_full(key, prf)[lo:hi]`` (pinned by
+        ``tests/dpf/test_properties.py``).
+
+    Raises:
+        ValueError: On a PRF mismatch or a range that is empty or falls
+            outside ``[0, domain_size)``.
+    """
+    _check_prf(key, prf)
+    if not 0 <= lo < hi <= key.domain_size:
+        raise ValueError(
+            f"range [{lo}, {hi}) is not a non-empty sub-range of the "
+            f"domain [0, {key.domain_size})"
+        )
+    n = key.log_domain
+    seeds = key.root_seed[np.newaxis, :].copy()
+    ts = np.array([key.root_t], dtype=np.uint8)
+    node_lo = 0  # natural-order index of seeds[0] at the current level
+    for level, cw in enumerate(key.correction_words):
+        seeds, ts = ggm.expand_level(
+            prf, seeds, ts, cw.seed, cw.t_left, cw.t_right
+        )
+        # Children cover natural-order nodes [2*node_lo, 2*node_lo + 2m);
+        # keep only those whose subtree intersects [lo, hi).
+        shift = n - (level + 1)
+        keep_lo = lo >> shift
+        keep_hi = ((hi - 1) >> shift) + 1
+        seeds = seeds[keep_lo - 2 * node_lo : keep_hi - 2 * node_lo]
+        ts = ts[keep_lo - 2 * node_lo : keep_hi - 2 * node_lo]
+        node_lo = keep_lo
+    # The surviving frontier is exactly the leaves [lo, hi), in order.
+    return ggm.leaf_values(seeds, ts, key.output_cw, key.party)
+
+
 def eval_points(key: DpfKey, prf: Prf, indices: np.ndarray) -> np.ndarray:
     """Evaluate a key at a set of indices without a full expansion.
 

@@ -29,7 +29,7 @@ import abc
 import numpy as np
 
 from repro.crypto.prf import get_prf
-from repro.dpf.dpf import eval_full
+from repro.dpf.dpf import eval_full, eval_range
 from repro.exec.request import EvalRequest, EvalResult, ExecutionPlan
 from repro.gpu.arena import ExpansionWorkspace
 from repro.gpu.device import DeviceSpec, V100
@@ -99,10 +99,27 @@ class ExecutionBackend(abc.ABC):
 
     ``plan`` never touches key cryptography beyond ingestion metadata
     (batch size, domain, PRF); ``run`` must return answers that are
-    bit-identical across backends for the same keys.
+    bit-identical across backends for the same keys.  A request with an
+    ``eval_range`` restriction returns the ``(B, hi - lo)`` column
+    window of the full expansion — still bit-identical across backends
+    (``tests/exec/test_backends.py``).
     """
 
     name: str = "abstract"
+
+    @staticmethod
+    def _apply_range(request: EvalRequest, answers: np.ndarray) -> np.ndarray:
+        """Clip a full ``(B, L)`` share matrix to the request's range.
+
+        The vectorized kernels expand whole GGM subtrees, so the range
+        restriction is a zero-copy column view of their output; the
+        simulated oracle overrides the whole path with the genuinely
+        restricted :func:`repro.dpf.dpf.eval_range` walk instead.
+        """
+        lo, hi = request.resolved_range()
+        if (lo, hi) == (0, request.arena().domain_size):
+            return answers
+        return answers[:, lo:hi]
 
     @abc.abstractmethod
     def plan(self, request: EvalRequest) -> ExecutionPlan:
@@ -213,7 +230,7 @@ class SingleGpuBackend(ExecutionBackend):
             workspace=self._workspace,
         )
         return EvalResult(
-            answers=answers,
+            answers=self._apply_range(request, answers),
             plan=plan,
             cost=merged_cost(plan.stats, strategies=self._by_name),
         )
@@ -276,7 +293,11 @@ class MultiGpuBackend(ExecutionBackend):
             get_prf(request.resolved_prf_name),
             resident_keys=request.resident,
         )
-        return EvalResult(answers=answers, plan=plan, cost=merged_cost(plan.stats))
+        return EvalResult(
+            answers=self._apply_range(request, answers),
+            plan=plan,
+            cost=merged_cost(plan.stats),
+        )
 
 
 class SimulatedBackend(ExecutionBackend):
@@ -319,11 +340,17 @@ class SimulatedBackend(ExecutionBackend):
     def run(self, request: EvalRequest) -> EvalResult:
         plan = self.plan(request)
         prf = get_prf(request.resolved_prf_name)
-        answers = np.stack(
-            [eval_full(key, prf) for key in request.arena().to_keys()]
-        )
+        lo, hi = request.resolved_range()
+        if (lo, hi) == (0, request.arena().domain_size):
+            rows = [eval_full(key, prf) for key in request.arena().to_keys()]
+        else:
+            # Genuinely restricted: the pruned-frontier range walk never
+            # expands subtrees outside [lo, hi).
+            rows = [
+                eval_range(key, prf, lo, hi) for key in request.arena().to_keys()
+            ]
         return EvalResult(
-            answers=answers,
+            answers=np.stack(rows),
             plan=plan,
             cost=merged_cost(plan.stats, strategies=self._single._by_name),
         )

@@ -50,6 +50,16 @@ class EvalRequest:
             either way.
         slo_latency_s: Optional latency SLO; :meth:`ExecutionPlan
             .meets_slo` reports whether the modeled latency honors it.
+        eval_range: Optional ``(lo, hi)`` sub-domain restriction — the
+            sharded-serving hook.  When set, ``run`` returns a
+            ``(B, hi - lo)`` share matrix covering table rows
+            ``[lo, hi)`` only, bit-identical to columns ``lo:hi`` of
+            the unrestricted expansion; a shard server holding rows
+            ``[lo, hi)`` dots that directly with its table slice.
+            ``plan`` still prices the full expansion (the modeled
+            kernels expand whole subtrees; the reference
+            :func:`repro.dpf.dpf.eval_range` walk is genuinely
+            restricted).
     """
 
     keys: KeySource
@@ -57,6 +67,7 @@ class EvalRequest:
     entry_bytes: int = 8
     resident: bool = False
     slo_latency_s: float | None = None
+    eval_range: tuple[int, int] | None = None
     _arena: KeyArena | None = field(default=None, repr=False, compare=False)
 
     def arena(self) -> KeyArena:
@@ -74,6 +85,46 @@ class EvalRequest:
     def resolved_prf_name(self) -> str:
         """The PRF evaluation will use (explicit hint or the keys')."""
         return self.prf_name if self.prf_name is not None else self.arena().prf_name
+
+    def resolved_range(self) -> tuple[int, int]:
+        """The ``[lo, hi)`` rows evaluation covers, validated.
+
+        ``eval_range=None`` resolves to the full domain.
+
+        Raises:
+            ValueError: If the range is empty, inverted, or falls
+                outside the keys' domain.
+        """
+        domain = self.arena().domain_size
+        if self.eval_range is None:
+            return 0, domain
+        lo, hi = self.eval_range
+        if not 0 <= lo < hi <= domain:
+            raise ValueError(
+                f"eval_range [{lo}, {hi}) is not a non-empty sub-range of "
+                f"the keys' domain [0, {domain})"
+            )
+        return lo, hi
+
+    def restrict(self, lo: int, hi: int) -> "EvalRequest":
+        """A copy of this request restricted to table rows ``[lo, hi)``.
+
+        The copy shares the ingested arena (zero-copy — ingestion is
+        never repeated), so a sharded front-end can fan one merged
+        request out to N shard replicas as N restricted requests for
+        the cost of N small objects.
+        """
+        request = EvalRequest(
+            keys=self.arena(),
+            prf_name=self.prf_name,
+            entry_bytes=self.entry_bytes,
+            resident=self.resident,
+            slo_latency_s=self.slo_latency_s,
+            eval_range=(lo, hi),
+            _arena=self.arena(),
+        )
+        request.resolved_range()
+        return request
 
     @classmethod
     def merge(
@@ -123,6 +174,11 @@ class EvalRequest:
                     "cannot merge requests with different PRFs "
                     f"({request.resolved_prf_name!r} vs {first.resolved_prf_name!r})"
                 )
+            if request.eval_range != first.eval_range:
+                raise ValueError(
+                    "cannot merge requests with different eval_range "
+                    f"restrictions ({request.eval_range} vs {first.eval_range})"
+                )
         arenas = [request.arena() for request in requests]
         slos = [r.slo_latency_s for r in requests if r.slo_latency_s is not None]
         merged = cls(
@@ -131,6 +187,7 @@ class EvalRequest:
             entry_bytes=first.entry_bytes,
             resident=first.resident,
             slo_latency_s=min(slos) if slos else None,
+            eval_range=first.eval_range,
         )
         return merged, tuple(arena.batch for arena in arenas)
 
@@ -179,6 +236,7 @@ class EvalRequest:
                     entry_bytes=merged.entry_bytes,
                     resident=merged.resident,
                     slo_latency_s=merged.slo_latency_s,
+                    eval_range=merged.eval_range,
                 )
             )
             offset += size

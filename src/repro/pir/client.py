@@ -44,11 +44,15 @@ class QueryBatch:
             never serialized).
         requests: The two framed request buffers — ``requests[p]`` goes
             to server ``p``.
+        epoch: Table epoch both frames are pinned to;
+            :meth:`PirClient.reconstruct` rejects replies answered from
+            any other epoch.
     """
 
     request_id: int
     indices: tuple[int, ...]
     requests: tuple[bytes, bytes]
+    epoch: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -63,6 +67,11 @@ class PirClient:
         prf: PRF (instance or registry name) shared with the servers.
         rng: Source of key-generation randomness (default: a fresh
             OS-seeded generator; pass a seeded one for reproducibility).
+        epoch: Table epoch to pin queries to (the version the client
+            last learned the servers publish).  A server mid-update
+            answers from exactly this version or fails typed —
+            reconstruction never mixes table versions.  Mutable: bump
+            it when the serving side announces a flip.
     """
 
     def __init__(
@@ -70,12 +79,16 @@ class PirClient:
         table_entries: int,
         prf: Prf | str = "aes128",
         rng: np.random.Generator | None = None,
+        epoch: int = 0,
     ):
         if table_entries <= 0:
             raise ValueError(f"table_entries must be positive, got {table_entries}")
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
         self.table_entries = table_entries
         self.prf = get_prf(prf) if isinstance(prf, str) else prf
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.epoch = epoch
         self._next_request_id = 0
 
     def generate_keys(
@@ -98,19 +111,28 @@ class PirClient:
         return keys_0, keys_1
 
     def query(self, indices: Sequence[int] | int | np.ndarray) -> QueryBatch:
-        """Build the two framed request buffers for a batch of indices."""
+        """Build the two framed request buffers for a batch of indices.
+
+        Both frames are pinned to the client's current :attr:`epoch`.
+        """
         indices = _as_index_list(indices)
         keys_0, keys_1 = self.generate_keys(indices)
         request_id = self._next_request_id
         self._next_request_id += 1
         requests = tuple(
             PirQuery(
-                request_id=request_id, count=len(keys), key_bytes=pack_keys(keys)
+                request_id=request_id,
+                count=len(keys),
+                key_bytes=pack_keys(keys),
+                epoch=self.epoch,
             ).to_bytes()
             for keys in (keys_0, keys_1)
         )
         return QueryBatch(
-            request_id=request_id, indices=tuple(indices), requests=requests
+            request_id=request_id,
+            indices=tuple(indices),
+            requests=requests,
+            epoch=self.epoch,
         )
 
     def query_many(
@@ -160,8 +182,9 @@ class PirClient:
 
         Raises:
             ValueError: On a malformed reply frame, a correlation-id
-                mismatch, or replies whose answer counts disagree with
-                the batch.
+                mismatch, a reply answered from a different table epoch
+                than the batch was pinned to, or replies whose answer
+                counts disagree with the batch.
         """
         replies = []
         for raw in (reply_0, reply_1):
@@ -170,6 +193,12 @@ class PirClient:
                 raise ValueError(
                     f"reply correlates to request {reply.request_id}, "
                     f"expected {batch.request_id}"
+                )
+            if reply.epoch != batch.epoch:
+                raise ValueError(
+                    f"reply was answered from table epoch {reply.epoch} but "
+                    f"the query was pinned to epoch {batch.epoch}; shares "
+                    f"from different table versions must not be combined"
                 )
             if reply.answers.shape != (batch.batch_size,):
                 raise ValueError(

@@ -72,6 +72,12 @@ class PirServer:
         self.prf_name = prf_name
         self.resident = resident
         self.max_batch = max_batch
+        self.epoch = 0
+        """The single table epoch this server serves.  An unversioned
+        server never updates its table, so every query must be pinned to
+        this epoch; :class:`~repro.serve.shard.ShardedPirServer`
+        overrides :meth:`check_epoch` with real multi-version
+        semantics."""
 
     @property
     def table_entries(self) -> int:
@@ -161,14 +167,75 @@ class PirServer:
         query = PirQuery.from_bytes(request_bytes)
         return query, self.ingest_query(query)
 
+    def check_epoch(self, epoch: int) -> None:
+        """Validate that this server can answer a query pinned to ``epoch``.
+
+        The unversioned server holds exactly one table version, so any
+        other epoch is unanswerable — answering it from the only table
+        would silently violate the pin the epoch field exists to
+        enforce.  :class:`~repro.serve.shard.ShardedPirServer` overrides
+        this with registry semantics (retained window, typed
+        :class:`~repro.serve.shard.EpochRetired`).
+
+        Raises:
+            ValueError: If ``epoch`` is not the epoch this server serves.
+        """
+        if epoch != self.epoch:
+            raise ValueError(
+                f"query is pinned to table epoch {epoch} but this server "
+                f"serves only epoch {self.epoch}"
+            )
+
+    def answer_request(
+        self,
+        request: EvalRequest,
+        epoch: int = 0,
+        backend: ExecutionBackend | None = None,
+        sizes: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Answer one validated request against ``epoch``'s table.
+
+        The batch-level serving hook both :meth:`handle` and the async
+        loop's fused flush dispatch through — the *one* overridable
+        seam, so a :class:`~repro.serve.shard.ShardedPirServer` slots
+        under either entry point by overriding this method alone.
+
+        Args:
+            request: A request this server validated
+                (:meth:`build_request` / :meth:`ingest_query`).
+            epoch: The table epoch the querying client pinned.
+            backend: Run on this backend instead of the server's own
+                (the fleet-routing hook); answers are bit-identical
+                either way.
+            sizes: When ``request`` is a fused merge, its constituents'
+                batch sizes (what :meth:`~repro.exec.EvalRequest.merge`
+                returned).  Ignored here — a single backend runs the
+                fused batch whole — but the sharded override uses it as
+                the failover granularity (un-merge on replica death, so
+                survivors keep seniority).
+
+        Returns:
+            ``(B,)`` uint64 answer shares in request key order.
+        """
+        self.check_epoch(epoch)
+        backend = backend if backend is not None else self.backend
+        return self.combine(backend.run(request).answers)
+
     def handle(self, request_bytes: bytes) -> bytes:
         """Serve one framed request: query frame in, reply frame out.
+
+        The reply echoes the query's epoch: the client's reconstruction
+        cross-checks that both servers answered from the table version
+        the query was generated against.
 
         Raises:
             ValueError: On a malformed frame, a key batch that does not
                 match the frame's declared count, a domain/table
-                mismatch, a PRF mismatch, or an oversized batch.
+                mismatch, a PRF mismatch, an oversized batch, or an
+                epoch this server does not serve.
         """
         query, request = self.parse_query(request_bytes)
-        answers = self.combine(self.backend.run(request).answers)
-        return PirReply(request_id=query.request_id, answers=answers).to_bytes()
+        answers = self.answer_request(request, epoch=query.epoch)
+        return PirReply(
+            request_id=query.request_id, answers=answers, epoch=query.epoch
+        ).to_bytes()

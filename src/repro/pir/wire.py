@@ -15,9 +15,17 @@ Layout (little-endian)::
     version  u8   WIRE_VERSION
     kind     u8   0 = query, 1 = reply
     req_id   u64  client-chosen correlation id, echoed in the reply
+    epoch    u32  table epoch the query targets, echoed in the reply
     count    u32  key records (query) / answer shares (reply)
     length   u64  payload bytes
     payload  ...  pack_keys output / packed uint64 shares
+
+Version 2 added the ``epoch`` field for online table updates: a query
+is generated against (and must be answered from) one specific published
+table version, so a server mid-update can keep answering old-epoch
+queries from the retained epoch instead of silently mixing tables.
+Version-1 frames (no epoch) are rejected outright — an epoch-less query
+is ambiguous the moment two table versions coexist.
 
 A frame must be *exactly* header + ``length`` bytes — trailing garbage
 is rejected at the frame boundary, mirroring the strictness of
@@ -32,34 +40,40 @@ from dataclasses import dataclass
 import numpy as np
 
 MAGIC = b"PIR1"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 KIND_QUERY = 0
 KIND_REPLY = 1
 
-_FRAME_FMT = "<4sBBQIQ"
+_FRAME_FMT = "<4sBBQIIQ"
 FRAME_HEADER_BYTES = struct.calcsize(_FRAME_FMT)
 
 _U32_MAX = (1 << 32) - 1
 _U64_MAX = (1 << 64) - 1
 
 
-def _pack_header(kind: int, request_id: int, count: int, payload_len: int) -> bytes:
+def _pack_header(
+    kind: int, request_id: int, epoch: int, count: int, payload_len: int
+) -> bytes:
     if not 0 <= request_id <= _U64_MAX:
         raise ValueError(f"request_id must fit in a u64, got {request_id}")
+    if not 0 <= epoch <= _U32_MAX:
+        raise ValueError(f"epoch must fit in a u32, got {epoch}")
     if not 0 < count <= _U32_MAX:
         raise ValueError(f"count must be a positive u32, got {count}")
-    return struct.pack(_FRAME_FMT, MAGIC, WIRE_VERSION, kind, request_id, count, payload_len)
+    return struct.pack(
+        _FRAME_FMT, MAGIC, WIRE_VERSION, kind, request_id, epoch, count, payload_len
+    )
 
 
-def _unpack_header(data: bytes, expect_kind: int) -> tuple[int, int, bytes]:
-    """Validate a frame end to end; return (request_id, count, payload)."""
+def _unpack_header(data: bytes, expect_kind: int) -> tuple[int, int, int, bytes]:
+    """Validate a frame end to end; return (request_id, epoch, count, payload)."""
     if len(data) < FRAME_HEADER_BYTES:
         raise ValueError(
             f"PIR frame truncated: need at least {FRAME_HEADER_BYTES} header "
             f"bytes, got {len(data)}"
         )
-    magic, version, kind, request_id, count, length = struct.unpack_from(
+    magic, version, kind, request_id, epoch, count, length = struct.unpack_from(
         _FRAME_FMT, data
     )
     if magic != MAGIC:
@@ -79,7 +93,7 @@ def _unpack_header(data: bytes, expect_kind: int) -> tuple[int, int, bytes]:
             f"PIR frame length mismatch: header declares {length} payload "
             f"bytes, frame carries {len(data) - FRAME_HEADER_BYTES}"
         )
-    return request_id, count, data[FRAME_HEADER_BYTES:]
+    return request_id, epoch, count, data[FRAME_HEADER_BYTES:]
 
 
 @dataclass(frozen=True)
@@ -92,15 +106,20 @@ class PirQuery:
             server cross-checks it against the ingested arena's batch.
         key_bytes: :func:`repro.dpf.keys.pack_keys` output, handed
             straight to :meth:`KeyArena.from_wire` on the server.
+        epoch: Table epoch the query was generated against; the server
+            answers from exactly that epoch's table (a retired epoch is
+            a typed, client-retryable error) and echoes it in the
+            reply.  0 is the initial table.
     """
 
     request_id: int
     count: int
     key_bytes: bytes
+    epoch: int = 0
 
     def to_bytes(self) -> bytes:
         return _pack_header(
-            KIND_QUERY, self.request_id, self.count, len(self.key_bytes)
+            KIND_QUERY, self.request_id, self.epoch, self.count, len(self.key_bytes)
         ) + self.key_bytes
 
     @classmethod
@@ -111,10 +130,10 @@ class PirQuery:
             ValueError: On bad magic/version/kind, a length mismatch
                 (including trailing garbage), or an empty batch.
         """
-        request_id, count, payload = _unpack_header(data, KIND_QUERY)
+        request_id, epoch, count, payload = _unpack_header(data, KIND_QUERY)
         if not payload:
             raise ValueError("PIR query carries no key bytes")
-        return cls(request_id=request_id, count=count, key_bytes=payload)
+        return cls(request_id=request_id, count=count, key_bytes=payload, epoch=epoch)
 
 
 @dataclass(frozen=True)
@@ -125,10 +144,13 @@ class PirReply:
         request_id: Echo of the query's correlation id.
         answers: ``(B,)`` uint64 answer shares, one per query key, in
             key order.
+        epoch: Echo of the query's table epoch — the table version the
+            shares were computed against.
     """
 
     request_id: int
     answers: np.ndarray
+    epoch: int = 0
 
     def to_bytes(self) -> bytes:
         answers = np.ascontiguousarray(self.answers, dtype="<u8")
@@ -136,7 +158,7 @@ class PirReply:
             raise ValueError("reply answers must be a non-empty 1-D array")
         payload = answers.tobytes()
         return _pack_header(
-            KIND_REPLY, self.request_id, answers.size, len(payload)
+            KIND_REPLY, self.request_id, self.epoch, answers.size, len(payload)
         ) + payload
 
     @classmethod
@@ -148,11 +170,11 @@ class PirReply:
                 (including trailing garbage), or a payload that is not
                 exactly ``count`` uint64 shares.
         """
-        request_id, count, payload = _unpack_header(data, KIND_REPLY)
+        request_id, epoch, count, payload = _unpack_header(data, KIND_REPLY)
         if len(payload) != 8 * count:
             raise ValueError(
                 f"PIR reply declares {count} answers but carries "
                 f"{len(payload)} payload bytes (expected {8 * count})"
             )
         answers = np.frombuffer(payload, dtype="<u8").astype(np.uint64, copy=False)
-        return cls(request_id=request_id, answers=answers)
+        return cls(request_id=request_id, answers=answers, epoch=epoch)

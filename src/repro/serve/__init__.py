@@ -29,6 +29,12 @@ can absorb heavy concurrent traffic and survive backend failures:
 * :mod:`repro.serve.load` — :func:`generate_load`, the concurrent
   client population that drives the loop in benches, tests, and the CI
   serve-smoke session, with per-tenant latency and retry accounting.
+* :mod:`repro.serve.shard` — :class:`ShardedPirServer`, the sharded,
+  replicated front-end: contiguous domain sub-ranges evaluated via the
+  range-restricted DPF walk, partials recombined mod 2^64, replica
+  health with ejection/failover/probation (:class:`ReplicaSet`), and
+  epoch-versioned online table updates (:class:`EpochRegistry`) with
+  typed :class:`ShardUnavailable` / :class:`EpochRetired` failures.
 
 The invariant everything above preserves: answers served through the
 aggregation loop are *bit-identical* to sequential
@@ -53,6 +59,20 @@ from repro.serve.control import (
 )
 from repro.serve.fleet import FleetScheduler, RoutingDecision
 from repro.serve.load import LoadReport, generate_load
+from repro.serve.shard import (
+    EJECTED,
+    HEALTHY,
+    PROBATION,
+    REPLICA_STATES,
+    EpochRegistry,
+    EpochRetired,
+    ReplicaSet,
+    ShardReplica,
+    ShardStats,
+    ShardUnavailable,
+    ShardedPirServer,
+    shard_ranges,
+)
 from repro.serve.loop import (
     FLUSH_ARENA_BYTES,
     FLUSH_DEADLINE,
@@ -96,4 +116,16 @@ __all__ = [
     "FLUSH_ARENA_BYTES",
     "FLUSH_DEADLINE",
     "FLUSH_DRAIN",
+    "ShardedPirServer",
+    "ReplicaSet",
+    "ShardReplica",
+    "ShardStats",
+    "EpochRegistry",
+    "EpochRetired",
+    "ShardUnavailable",
+    "shard_ranges",
+    "HEALTHY",
+    "PROBATION",
+    "EJECTED",
+    "REPLICA_STATES",
 ]

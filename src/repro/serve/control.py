@@ -154,8 +154,15 @@ class TokenBucket:
         self._last_refill = now
 
     def try_take(self, count: int, now: float) -> bool:
-        """Admit ``count`` queries at time ``now`` if tokens allow."""
-        elapsed = max(0.0, now - self._last_refill)
+        """Admit ``count`` queries at time ``now`` if tokens allow.
+
+        ``now`` is clamped to the bucket's high-water mark: a caller
+        whose clock steps backwards (or concurrent callers racing a
+        shared clock) must not rewind ``_last_refill``, which would
+        double-credit the rewound interval on the next take.
+        """
+        now = max(now, self._last_refill)
+        elapsed = now - self._last_refill
         self.tokens = min(self.capacity, self.tokens + elapsed * self.rate_qps)
         self._last_refill = now
         if self.tokens >= count:

@@ -580,9 +580,16 @@ class AsyncPirServer:
         at least one, so a single request larger than either cap —
         legal unless the server caps it — still flushes alone).
         Cancelled requests are purged first, so they are never merged
-        into the fused batch."""
+        into the fused batch.
+
+        A batch is single-epoch: queries pinned to different table
+        epochs must run against different table versions, so a queue
+        that spans an epoch flip splits at the flip boundary — the
+        head's epoch defines the batch and a mismatched head ends that
+        queue's take (the next flush picks the other epoch up)."""
         self._purge_cancelled()
         taken: list[_Pending] = []
+        epoch: int | None = None
         count = 0
         taken_bytes = 0
         budget = self.slo.max_arena_bytes
@@ -590,6 +597,8 @@ class AsyncPirServer:
             queue = self._queues[qos_class]
             while queue:
                 nxt = queue[0]
+                if epoch is not None and nxt.query.epoch != epoch:
+                    break
                 nxt_bytes = nxt.request.arena().nbytes
                 if taken and (
                     count + nxt.query.count > self.slo.max_batch
@@ -598,6 +607,7 @@ class AsyncPirServer:
                     self._queued_queries -= count
                     return taken
                 taken.append(queue.popleft())
+                epoch = nxt.query.epoch
                 count += nxt.query.count
                 taken_bytes += nxt_bytes
                 self._queued_arena_bytes -= nxt_bytes
@@ -611,15 +621,23 @@ class AsyncPirServer:
         merged = None
         sizes: tuple[int, ...] = ()
         decision = None
+        epoch = taken[0].query.epoch
         try:
             merged, sizes = EvalRequest.merge([p.request for p in taken])
+            # One answer_request for the whole fused batch (the server's
+            # overridable serving seam — a sharded server fans out and
+            # recombines inside it), then per-request slicing: the
+            # demux is row offsets, nothing recomputed.
             if self.fleet is not None:
-                result, decision = self.fleet.dispatch(merged)
+                decision = self.fleet.route(merged)
+                answers = self.server.answer_request(
+                    merged,
+                    epoch=epoch,
+                    backend=self.fleet.backends[decision.backend_index],
+                    sizes=sizes,
+                )
             else:
-                result = self.server.backend.run(merged)
-            # One combine for the whole fused batch, then per-request
-            # slicing — the demux is row offsets, nothing recomputed.
-            answers = self.server.combine(result.answers)
+                answers = self.server.answer_request(merged, epoch=epoch, sizes=sizes)
         except Exception as exc:
             self._requeue_or_fail(taken, merged, sizes, exc)
             return
@@ -635,6 +653,7 @@ class AsyncPirServer:
             reply = PirReply(
                 request_id=pending.query.request_id,
                 answers=answers[offset : offset + size],
+                epoch=pending.query.epoch,
             ).to_bytes()
             offset += size
             if pending.future.done():

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dpf import DpfKey, eval_full, eval_points
+from repro.dpf import DpfKey, eval_full, eval_points, eval_range
 
 from tests.strategies import (
     DETERMINISM_SETTINGS,
@@ -92,6 +92,60 @@ def test_eval_points_rejects_out_of_domain(case, data):
     )
     with pytest.raises(ValueError, match="out of domain"):
         eval_points(k0, prf, np.array([0, bad], dtype=np.int64))
+
+
+@given(case=dpf_cases(prfs=fast_prf_names), data=st.data())
+@STANDARD_SETTINGS
+def test_eval_range_agrees_with_eval_full(case, data):
+    """`eval_range(k, prf, lo, hi) == eval_full(k, prf)[lo:hi]` for any
+    non-empty sub-range — the identity sharded serving rests on."""
+    (k0, k1), prf = case.keys()
+    lo = data.draw(st.integers(0, case.domain_size - 1), label="lo")
+    hi = data.draw(st.integers(lo + 1, case.domain_size), label="hi")
+    for key in (k0, k1):
+        got = eval_range(key, prf, lo, hi)
+        assert got.shape == (hi - lo,)
+        assert np.array_equal(got, eval_full(key, prf)[lo:hi])
+
+
+@given(case=dpf_cases(prfs=fast_prf_names), data=st.data())
+@STANDARD_SETTINGS
+def test_eval_range_partition_concatenates_to_full(case, data):
+    """Concatenating eval_range over any partition of the domain
+    reproduces eval_full exactly — why shard partials recombine to the
+    unsharded answer."""
+    (k0, _), prf = case.keys()
+    cuts = sorted(
+        data.draw(
+            st.sets(st.integers(1, max(1, case.domain_size - 1)), max_size=4),
+            label="cuts",
+        )
+    )
+    bounds = [0] + cuts + [case.domain_size]
+    ranges = [
+        (a, b) for a, b in zip(bounds, bounds[1:]) if a < b
+    ]
+    pieces = [eval_range(k0, prf, lo, hi) for lo, hi in ranges]
+    assert np.array_equal(np.concatenate(pieces), eval_full(k0, prf))
+
+
+@given(case=dpf_cases(prfs=fast_prf_names), data=st.data())
+@STANDARD_SETTINGS
+def test_eval_range_rejects_invalid_bounds(case, data):
+    (k0, _), prf = case.keys()
+    lo, hi = data.draw(
+        st.sampled_from(
+            [
+                (0, 0),
+                (-1, 1),
+                (0, case.domain_size + 1),
+                (case.domain_size, case.domain_size),
+            ]
+        ),
+        label="bounds",
+    )
+    with pytest.raises(ValueError, match="sub-range"):
+        eval_range(k0, prf, lo, hi)
 
 
 @given(case=dpf_cases(prfs=fast_prf_names))

@@ -117,6 +117,43 @@ class TestPlan:
         assert not plan.meets_slo(plan.latency_s / 2)
 
 
+@pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES))
+class TestRangeRestriction:
+    """`eval_range` through the request layer: a restricted run returns
+    exactly the reference's column slice — the shard evaluation path."""
+
+    @pytest.mark.parametrize("lo,hi", [(0, 67), (37, 151), (199, 200)])
+    def test_restricted_run_matches_reference_columns(
+        self, backend_name, lo, hi, reference
+    ):
+        keys, prf, expected = reference
+        request = EvalRequest(keys=keys, prf_name=prf.name).restrict(lo, hi)
+        result = BACKEND_FACTORIES[backend_name]().run(request)
+        assert result.answers.shape == (BATCH, hi - lo)
+        assert np.array_equal(result.answers, expected[:, lo:hi])
+
+    def test_full_range_restriction_is_identity(self, backend_name, reference):
+        keys, prf, expected = reference
+        request = EvalRequest(keys=keys, prf_name=prf.name).restrict(0, DOMAIN)
+        result = BACKEND_FACTORIES[backend_name]().run(request)
+        assert np.array_equal(result.answers, expected)
+
+    def test_restrict_shares_the_ingested_arena(self, backend_name, reference):
+        keys, prf, _ = reference
+        request = EvalRequest(keys=keys, prf_name=prf.name)
+        restricted = request.restrict(10, 20)
+        assert restricted.arena() is request.arena()
+        assert restricted.resolved_range() == (10, 20)
+        assert request.resolved_range() == (0, DOMAIN)
+
+    def test_invalid_ranges_rejected(self, backend_name, reference):
+        keys, prf, _ = reference
+        request = EvalRequest(keys=keys, prf_name=prf.name)
+        for lo, hi in ((5, 5), (-1, 3), (0, DOMAIN + 1), (DOMAIN, DOMAIN)):
+            with pytest.raises(ValueError, match="sub-range"):
+                request.restrict(lo, hi)
+
+
 class TestMergedCost:
     def test_merged_cost_sums_over_shards(self, reference):
         keys, prf, _ = reference

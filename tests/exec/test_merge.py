@@ -141,6 +141,39 @@ class TestArenaConcat:
             KeyArena.concat([])
 
 
+class TestMergeEvalRange:
+    """Range restrictions through the merge/unmerge round trip — what
+    lets a sharded server un-merge a fused batch for failover without
+    losing the shard's sub-range."""
+
+    def test_mismatched_eval_range_rejected(self):
+        restricted = EvalRequest(keys=_keys(1, seed=0), prf_name="siphash").restrict(
+            0, 16
+        )
+        plain = EvalRequest(keys=_keys(1, seed=1), prf_name="siphash")
+        with pytest.raises(ValueError, match="eval_range"):
+            EvalRequest.merge([restricted, plain])
+
+    def test_range_propagates_through_merge_and_unmerge(self):
+        requests = [
+            EvalRequest(keys=_keys(b, seed=b), prf_name="siphash").restrict(4, 20)
+            for b in (2, 3)
+        ]
+        merged, sizes = EvalRequest.merge(requests)
+        assert merged.eval_range == (4, 20)
+        for piece in EvalRequest.unmerge(merged, sizes):
+            assert piece.eval_range == (4, 20)
+
+    def test_restricting_a_merged_batch_slices_its_columns(self):
+        backend = SingleGpuBackend()
+        merged, _ = EvalRequest.merge(
+            [EvalRequest(keys=_keys(b, seed=b), prf_name="siphash") for b in (2, 3)]
+        )
+        full = backend.run(merged).answers
+        restricted = backend.run(merged.restrict(7, 25)).answers
+        assert np.array_equal(restricted, full[:, 7:25])
+
+
 class TestUnmerge:
     """`unmerge` is the retry path's inverse of `merge`: each returned
     request must carry exactly its constituent's keys, as a zero-copy

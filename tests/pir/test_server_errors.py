@@ -81,14 +81,14 @@ class TestEmptyBatches:
         data = bytearray(
             PirReply(request_id=1, answers=np.ones(1, dtype=np.uint64)).to_bytes()
         )
-        data[14:18] = (0).to_bytes(4, "little")  # count field
+        data[18:22] = (0).to_bytes(4, "little")  # count field
         with pytest.raises(ValueError, match="at least one record"):
             PirReply.from_bytes(bytes(data))
 
     def test_zero_count_query_frame_rejected_by_handle(self):
         server, client = _fixture()
         data = bytearray(client.query([3]).requests[0])
-        data[14:18] = (0).to_bytes(4, "little")
+        data[18:22] = (0).to_bytes(4, "little")
         with pytest.raises(ValueError, match="at least one record"):
             server.handle(bytes(data))
 
@@ -96,6 +96,6 @@ class TestEmptyBatches:
         server, _ = _fixture()
         frame = PirQuery(request_id=1, count=1, key_bytes=b"x").to_bytes()
         stripped = bytearray(frame[:-1])
-        stripped[18:26] = (0).to_bytes(8, "little")  # declared payload length
+        stripped[22:30] = (0).to_bytes(8, "little")  # declared payload length
         with pytest.raises(ValueError, match="no key bytes"):
             server.handle(bytes(stripped))

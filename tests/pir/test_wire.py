@@ -48,24 +48,47 @@ class TestRoundTrip:
         request_id=st.integers(0, (1 << 64) - 1),
         payload=st.binary(min_size=1, max_size=200),
         count=st.integers(1, (1 << 32) - 1),
+        epoch=st.integers(0, (1 << 32) - 1),
     )
     @STANDARD_SETTINGS
-    def test_fuzz_query_round_trips(self, request_id, payload, count):
-        query = PirQuery(request_id=request_id, count=count, key_bytes=payload)
+    def test_fuzz_query_round_trips(self, request_id, payload, count, epoch):
+        query = PirQuery(
+            request_id=request_id, count=count, key_bytes=payload, epoch=epoch
+        )
         assert PirQuery.from_bytes(query.to_bytes()) == query
 
     @given(
         request_id=st.integers(0, (1 << 64) - 1),
         answers=st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=20),
+        epoch=st.integers(0, (1 << 32) - 1),
     )
     @STANDARD_SETTINGS
-    def test_fuzz_reply_round_trips(self, request_id, answers):
+    def test_fuzz_reply_round_trips(self, request_id, answers, epoch):
         reply = PirReply(
-            request_id=request_id, answers=np.array(answers, dtype=np.uint64)
+            request_id=request_id,
+            answers=np.array(answers, dtype=np.uint64),
+            epoch=epoch,
         )
         parsed = PirReply.from_bytes(reply.to_bytes())
         assert parsed.request_id == request_id
+        assert parsed.epoch == epoch
         assert np.array_equal(parsed.answers, np.array(answers, dtype=np.uint64))
+
+    def test_epoch_round_trips_and_defaults_to_zero(self):
+        assert PirQuery.from_bytes(_query().to_bytes()).epoch == 0
+        query = PirQuery(request_id=1, count=1, key_bytes=b"x", epoch=41)
+        assert PirQuery.from_bytes(query.to_bytes()).epoch == 41
+        reply = PirReply(
+            request_id=1, answers=np.array([9], dtype=np.uint64), epoch=41
+        )
+        assert PirReply.from_bytes(reply.to_bytes()).epoch == 41
+
+    def test_epoch_out_of_u32_range_rejected_on_encode(self):
+        for epoch in (-1, 1 << 32):
+            with pytest.raises(ValueError, match="epoch"):
+                PirQuery(
+                    request_id=1, count=1, key_bytes=b"x", epoch=epoch
+                ).to_bytes()
 
 
 class TestMalformedFrames:
@@ -111,7 +134,7 @@ class TestMalformedFrames:
     def test_reply_payload_must_match_count(self):
         data = bytearray(_reply(answers=(1, 2)).to_bytes())
         # Bump the declared count without growing the payload.
-        data[14:18] = (3).to_bytes(4, "little")
+        data[18:22] = (3).to_bytes(4, "little")
         with pytest.raises(ValueError, match="declares 3 answers"):
             PirReply.from_bytes(bytes(data))
 
@@ -119,7 +142,7 @@ class TestMalformedFrames:
         frame = PirQuery(request_id=1, count=1, key_bytes=b"x").to_bytes()
         # Strip the single payload byte and fix the declared length.
         header = bytearray(frame[:-1])
-        header[18:26] = (0).to_bytes(8, "little")
+        header[22:30] = (0).to_bytes(8, "little")
         with pytest.raises(ValueError, match="no key bytes"):
             PirQuery.from_bytes(bytes(header))
 
@@ -127,11 +150,19 @@ class TestMalformedFrames:
         with pytest.raises(ValueError, match="count"):
             _query(count=0).to_bytes()
         data = bytearray(_query(count=1).to_bytes())
-        data[14:18] = (0).to_bytes(4, "little")
+        data[18:22] = (0).to_bytes(4, "little")
         with pytest.raises(ValueError, match="at least one"):
             PirQuery.from_bytes(bytes(data))
 
     def test_header_size_is_stable(self):
         """The wire constant other layers size buffers with."""
-        assert FRAME_HEADER_BYTES == 26
+        assert FRAME_HEADER_BYTES == 30
         assert len(_query(payload=b"z").to_bytes()) == FRAME_HEADER_BYTES + 1
+
+    def test_v1_frames_rejected(self):
+        """An epoch-less v1 frame is ambiguous once table versions
+        coexist; the v2 parser must refuse it rather than guess."""
+        data = bytearray(_query().to_bytes())
+        data[4] = 1
+        with pytest.raises(ValueError, match="version"):
+            PirQuery.from_bytes(bytes(data))

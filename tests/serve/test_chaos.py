@@ -299,6 +299,14 @@ class TestFaultPlan:
         plan = FaultPlan.always()
         assert all(plan.should_fail(n) for n in range(1, 10))
 
+    def test_after_is_dead_from_run_n(self):
+        plan = FaultPlan.after(3)
+        assert [plan.should_fail(n) for n in range(1, 6)] == [
+            False, False, True, True, True,
+        ]
+        with pytest.raises(ValueError, match=">= 1"):
+            FaultPlan.after(0)
+
     def test_random_is_deterministic_per_seed(self):
         plan_a, plan_b = FaultPlan.random(0.5, seed=7), FaultPlan.random(0.5, seed=7)
         a = [plan_a.should_fail(n) for n in range(1, 50)]
@@ -313,6 +321,50 @@ class TestFaultPlan:
             FaultPlan.nth()
         with pytest.raises(ValueError, match="rate"):
             FaultPlan.random(1.5)
+
+
+class TestSharedRandomPlans:
+    def test_shared_plan_streams_are_interleaving_independent(self):
+        """One random plan shared across two FlakyBackends: each
+        wrapper draws from its own spawned stream, so whether a given
+        run of backend A faults depends only on A's run count — never
+        on how A's calls interleave with B's.  Multi-replica chaos with
+        a shared plan therefore replays exactly."""
+        table, server, client = _fixture()
+        request = server.parse_query(client.query([1]).requests[0])[1]
+
+        def run_once(backend):
+            try:
+                backend.run(request)
+                return False
+            except BackendFault:
+                return True
+
+        def patterns(interleaved, runs=24):
+            plan = FaultPlan.random(0.5, seed=123)
+            backends = [
+                FlakyBackend(BACKEND_FACTORIES["single_gpu"](), plan)
+                for _ in range(2)
+            ]
+            results = [[], []]
+            if interleaved:
+                for _ in range(runs):
+                    for i, backend in enumerate(backends):
+                        results[i].append(run_once(backend))
+            else:
+                for i, backend in enumerate(backends):
+                    for _ in range(runs):
+                        results[i].append(run_once(backend))
+            return results
+
+        interleaved = patterns(interleaved=True)
+        sequential = patterns(interleaved=False)
+        assert interleaved == sequential
+        # The two wrappers draw *different* streams (wrap order), and
+        # each is genuinely Bernoulli.
+        assert interleaved[0] != interleaved[1]
+        for pattern in interleaved:
+            assert any(pattern) and not all(pattern)
 
 
 class TestFlakyBackend:

@@ -81,6 +81,11 @@ class TestTokenBucket:
         bucket = TokenBucket(rate_qps=1.0, capacity=1.0, now=10.0)
         assert bucket.try_take(1, now=10.0)
         assert not bucket.try_take(1, now=5.0)  # negative elapsed clamps
+        # The rewound call must not have moved the refill mark back:
+        # refill accrues from the high-water mark (10.0), so the
+        # already-elapsed 5..10 interval is never credited twice.
+        assert not bucket.try_take(1, now=10.5)  # only 0.5 tokens since 10
+        assert bucket.try_take(1, now=11.0)
 
 
 class TestTenantSpec:
@@ -173,6 +178,22 @@ class TestDrainTimeModel:
         """No cost model means infinite modeled QPS — drain shedding
         disables itself rather than shedding on a guess."""
         model = DrainTimeModel([_UnpricedBackend()], flush_batch=8)
+        assert math.isinf(model.modeled_qps(64, "siphash", False))
+        assert model.drain_s(10**9, 64, "siphash", False) == 0.0
+
+    def test_unpriceable_shape_fails_open_under_a_fleet(self):
+        """One fleet member raising ValueError on an unpriceable shape
+        disables drain shedding for the whole fleet — an exotic shape
+        must be admitted, never shed on a guess (and never crash the
+        admission path)."""
+
+        class _RejectingBackend(SingleGpuBackend):
+            def model_latency_s(self, *args, **kwargs):
+                raise ValueError("no feasible plan at this shape")
+
+        model = DrainTimeModel(
+            [SingleGpuBackend(), _RejectingBackend()], flush_batch=8
+        )
         assert math.isinf(model.modeled_qps(64, "siphash", False))
         assert model.drain_s(10**9, 64, "siphash", False) == 0.0
 
