@@ -108,7 +108,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         for case in cases:
             print(case.describe())
-        print(f"{len(cases)} cases selected")
+        families: dict[str, int] = {}
+        for case in cases:
+            family = (
+                case.strategy
+                if case.strategy in (REFERENCE, INGEST, PIR_ROUNDTRIP, SERVING)
+                else "eval"
+            )
+            families[family] = families.get(family, 0) + 1
+        breakdown = ", ".join(
+            f"{family}={count}" for family, count in sorted(families.items())
+        )
+        print(f"{len(cases)} cases selected ({breakdown})")
         return 0
     if not cases:
         # Exit 2 (usage error), and before any output file is touched —
@@ -140,6 +151,13 @@ def main(argv: list[str] | None = None) -> int:
                 line += f" shards={r.shards}x{r.replicas}"
                 if r.ejections or r.failovers:
                     line += f" ejections={r.ejections} failovers={r.failovers}"
+            if r.plan_cache:
+                line += (
+                    f" cache={r.plan_cache_hits}h/{r.plan_cache_misses}m"
+                    f" overlap={r.overlap_flushes}"
+                )
+            if r.procs:
+                line += f" procs={r.procs}"
         print(line)
     return 0
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Figure 8/9 batch-size sweeps as CSV, from a BENCH_dpf.json run.
+
+The paper's Figures 8 and 9 plot expansion throughput against batch
+size, per traversal strategy and table size.  This script re-derives
+those sweeps from a bench-harness artifact so the harness stays the
+single source of numbers: every *measured* point comes from the JSON,
+and each point is paired with the analytic model's prediction for the
+same shape (`GpuSimulator.simulate`) plus the steady-state pipelined
+prediction (`GpuSimulator.pipelined_latency_s`, the double-buffered
+ingest path the serving loop runs with ``overlap=True``).
+
+Rows are the eval-family results (the four GGM traversal strategies;
+reference / ingest / pir_roundtrip / serving families carry no kernel
+plan and are skipped), grouped by ``(prf, strategy, log_domain,
+ingest)`` and ordered by batch within each group — one CSV line per
+measured point, ready to pivot into either figure:
+
+    prf,strategy,log_domain,ingest,batch,measured_qps,modeled_qps,
+    modeled_pipelined_qps,pipeline_speedup
+
+``modeled_qps`` prices kernel + host parse sequentially
+(``overlap=False``); ``modeled_pipelined_qps`` overlaps them
+(``overlap=False`` vs ``True`` of the same two-stage pipeline), so
+``pipeline_speedup`` is the modeled win of double-buffered ingest for
+that exact shape.  ``ingest="arena"`` rows model resident keys (no
+per-batch wire parse), so their speedup is 1.0 by construction.
+
+Usage:
+    PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json
+    PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json --out sweeps.csv
+    PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json --device A100
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.gpu import available_strategies, get_strategy  # noqa: E402
+from repro.gpu.device import A100, V100  # noqa: E402
+from repro.gpu.sim import GpuSimulator  # noqa: E402
+
+#: Emitted header, in order.  CI checks this exact schema.
+CSV_COLUMNS = (
+    "prf",
+    "strategy",
+    "log_domain",
+    "ingest",
+    "batch",
+    "measured_qps",
+    "modeled_qps",
+    "modeled_pipelined_qps",
+    "pipeline_speedup",
+)
+
+DEVICES = {"V100": V100, "A100": A100}
+
+#: Table entries are uint64 throughout the bench grid.
+ENTRY_BYTES = 8
+
+
+def sweep_rows(results: list[dict], device_name: str = "V100") -> list[dict]:
+    """One CSV row per eval-family result, grouped and batch-ordered."""
+    sim = GpuSimulator(DEVICES[device_name])
+    strategies = set(available_strategies())
+    eval_rows = [r for r in results if r["strategy"] in strategies]
+    eval_rows.sort(
+        key=lambda r: (r["prf"], r["strategy"], r["log_domain"], r["ingest"], r["batch"])
+    )
+    out = []
+    for row in eval_rows:
+        plan = get_strategy(row["strategy"]).plan(
+            row["batch"],
+            row["domain_size"],
+            entry_bytes=ENTRY_BYTES,
+            prf_name=row["prf"],
+            resident_keys=row["ingest"] == "arena",
+        )
+        sequential_s = sim.pipelined_latency_s(plan, overlap=False)
+        pipelined_s = sim.pipelined_latency_s(plan, overlap=True)
+        out.append(
+            {
+                "prf": row["prf"],
+                "strategy": row["strategy"],
+                "log_domain": row["log_domain"],
+                "ingest": row["ingest"],
+                "batch": row["batch"],
+                "measured_qps": round(row["qps"], 2),
+                "modeled_qps": round(row["batch"] / sequential_s, 2),
+                "modeled_pipelined_qps": round(row["batch"] / pipelined_s, 2),
+                "pipeline_speedup": round(sequential_s / pipelined_s, 4),
+            }
+        )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_dpf.json-format input")
+    parser.add_argument(
+        "--out", default="-", help="output CSV path ('-' for stdout, the default)"
+    )
+    parser.add_argument(
+        "--device",
+        default="V100",
+        choices=sorted(DEVICES),
+        help="device spec the model prices plans on",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.bench_json) as handle:
+        payload = json.load(handle)
+    if "results" not in payload:
+        print(f"{args.bench_json}: not a bench artifact (no 'results')", file=sys.stderr)
+        return 2
+    rows = sweep_rows(payload["results"], device_name=args.device)
+    if not rows:
+        print(f"{args.bench_json}: no eval-family rows to sweep", file=sys.stderr)
+        return 2
+
+    handle = sys.stdout if args.out == "-" else open(args.out, "w", newline="")
+    try:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+            print(f"wrote {len(rows)} sweep rows -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,16 @@ its first dispatch mid-session: the replica sets must eject the dead
 replicas, fail the in-flight batches over to the surviving siblings,
 and every answer must still be bit-exact with zero queries failed.
 
+With ``--steady`` the session instead exercises the persistent-kernel
+steady state: both parties serve through a shared-shape
+:class:`repro.exec.PlanCache` with double-buffered ingest
+(``overlap=True``), under *paced* arrivals so later batches are parsed
+while earlier ones run on the dispatch thread.  The smoke asserts the
+new ``ServingStats`` counters are live — ``plan_cache_hits > 0`` (the
+plan/workspace pair was reused across flushes) and
+``overlap_flushes > 0`` (at least one flush hid ingest work) — on top
+of the usual bit-exactness checks.
+
 Exit status is the assertion outcome, so this is runnable as a bare CI
 step with only numpy installed:
 
@@ -34,6 +44,7 @@ step with only numpy installed:
     PYTHONPATH=src python scripts/serve_smoke.py --chaos
     PYTHONPATH=src python scripts/serve_smoke.py --shards 3
     PYTHONPATH=src python scripts/serve_smoke.py --shards 3 --chaos
+    PYTHONPATH=src python scripts/serve_smoke.py --steady
 """
 
 from __future__ import annotations
@@ -46,7 +57,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.exec import SingleGpuBackend  # noqa: E402
+from repro.exec import PlanCache, SingleGpuBackend  # noqa: E402
 from repro.gpu.device import A100, V100  # noqa: E402
 from repro.pir import PirClient, PirServer  # noqa: E402
 from repro.serve import (  # noqa: E402
@@ -150,7 +161,88 @@ def run_sharded(chaos: bool, shards: int) -> int:
     return 0
 
 
-def main(chaos: bool = False, shards: int = 0) -> int:
+def run_steady() -> int:
+    """The steady-state session: plan cache + double-buffered ingest.
+
+    Paced arrivals keep queries landing while earlier fused batches run
+    on the dispatch thread, so the overlap path (not just the cache)
+    is genuinely exercised; the assertions pin the new counters live.
+    """
+    clients = 2 * CLIENTS
+    rng = np.random.default_rng(2024)
+    table = rng.integers(0, 1 << 64, size=TABLE_ENTRIES, dtype=np.uint64)
+    indices = rng.integers(0, TABLE_ENTRIES, size=clients).tolist()
+    client = PirClient(TABLE_ENTRIES, PRF, rng=np.random.default_rng(7))
+
+    async def session():
+        loops = [
+            AsyncPirServer(
+                PirServer(
+                    table,
+                    backend=SingleGpuBackend(),
+                    prf_name=PRF,
+                    plan_cache=PlanCache(),
+                ),
+                slo=SloConfig(max_batch=8, max_wait_s=5e-3),
+                retry=RetryPolicy(max_attempts=3),
+                overlap=True,
+            )
+            for _ in range(2)
+        ]
+        async with loops[0], loops[1]:
+            report = await generate_load(
+                client, loops, indices, offered_qps=1500.0
+            )
+        return report, loops
+
+    report, loops = asyncio.run(session())
+
+    assert report.shed == 0, f"admission control shed {report.shed} queries"
+    assert report.answered == clients, (
+        f"answered {report.answered} of {clients} queries"
+    )
+    assert np.array_equal(report.answers, table[np.array(report.indices)]), (
+        "steady-state answers diverged from the table"
+    )
+    for party, loop in enumerate(loops):
+        stats = loop.stats
+        assert stats.failed == 0, f"party {party} failed {stats.failed} queries"
+        assert stats.largest_batch > 1, f"party {party} fused no batch"
+        assert stats.plan_cache_hits > 0, (
+            f"party {party} never hit the plan cache "
+            f"({stats.plan_cache_hits}h/{stats.plan_cache_misses}m over "
+            f"{stats.batches} batches) — bucketed keys are not being reused"
+        )
+        assert stats.plan_cache_hits + stats.plan_cache_misses == stats.batches, (
+            f"party {party}: cache lookups "
+            f"({stats.plan_cache_hits + stats.plan_cache_misses}) != batches "
+            f"({stats.batches}) — some flush bypassed the plan cache"
+        )
+        assert stats.overlap_flushes > 0, (
+            f"party {party} recorded no overlap flush across {stats.batches} "
+            "batches — paced ingest never ran concurrently with a dispatch"
+        )
+        print(
+            f"party {party}: {stats.answered} queries in {stats.batches} "
+            f"batches, plan_cache={stats.plan_cache_hits}h/"
+            f"{stats.plan_cache_misses}m, "
+            f"overlap_flushes={stats.overlap_flushes}, "
+            f"flush_reasons={stats.flushes}"
+        )
+    print(
+        f"serve-smoke (steady) ok: {report.answered} answers bit-exact "
+        f"through a warm plan cache with double-buffered ingest, "
+        f"p50={report.p50_ms:.2f}ms p99={report.p99_ms:.2f}ms "
+        f"({report.achieved_qps:.0f} qps)"
+    )
+    return 0
+
+
+def main(chaos: bool = False, shards: int = 0, steady: bool = False) -> int:
+    if steady:
+        if chaos or shards:
+            raise SystemExit("--steady does not combine with --chaos/--shards")
+        return run_steady()
     if shards:
         return run_sharded(chaos, shards)
     rng = np.random.default_rng(2024)
@@ -250,5 +342,9 @@ def _parse_shards(argv: list[str]) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(
-        main(chaos="--chaos" in sys.argv[1:], shards=_parse_shards(sys.argv[1:]))
+        main(
+            chaos="--chaos" in sys.argv[1:],
+            shards=_parse_shards(sys.argv[1:]),
+            steady="--steady" in sys.argv[1:],
+        )
     )

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.crypto import available_prfs, get_prf
 from repro.dpf import eval_full, gen, pack_keys, unpack_keys
-from repro.exec import SingleGpuBackend
+from repro.exec import MultiProcessBackend, PlanCache, SingleGpuBackend
 from repro.gpu import (
     ExpansionWorkspace,
     KeyArena,
@@ -157,14 +157,18 @@ INGEST_MODES = ("objects", "wire", "arena")
   work is evaluation only.
 """
 
-SCHEMA_VERSION = 7
-"""Bumped to 7 with sharded serving: cases grew the ``shards`` /
-``replicas`` axes (0/1 = the unsharded server), the ``chaos`` axis
-grew ``"replica_kill"``, and results grew the ``ejections`` /
-``failovers`` replica-health counters (0 for non-sharded rows).
-Schema 6 added the serving control plane (``chaos`` / ``qos`` axes,
-``shed`` / ``retried`` / ``failed`` counters, per-class percentiles);
-schema 5 the ``serving`` family itself."""
+SCHEMA_VERSION = 8
+"""Bumped to 8 with persistent-kernel serving: serving cases grew the
+``plan_cache`` axis (memoized plans + pinned workspaces + overlapped
+ingest, interleaved next to its cold twin) and the ``procs`` axis
+(replica backends served by a :class:`~repro.exec.MultiProcessBackend`
+worker pool of that size; 0 = in-process), and results grew the
+``plan_cache_hits`` / ``plan_cache_misses`` / ``overlap_flushes``
+steady-state counters.  Schema 7 added sharded serving (``shards`` /
+``replicas`` axes, ``"replica_kill"`` chaos, ``ejections`` /
+``failovers`` counters); schema 6 the serving control plane (``chaos``
+/ ``qos`` axes, ``shed`` / ``retried`` / ``failed`` counters,
+per-class percentiles); schema 5 the ``serving`` family itself."""
 
 
 @dataclass(frozen=True)
@@ -194,6 +198,16 @@ class BenchCase:
             contiguous sub-ranges (0 = the plain unsharded server).
         replicas: :data:`SERVING` cases only — backends per shard
             (meaningful only with ``shards > 0``).
+        plan_cache: :data:`SERVING` cases only — serve through a
+            :class:`~repro.exec.PlanCache` (memoized plans, pinned
+            workspaces, pow2 bucketing) with double-buffered ingest
+            (``overlap=True`` on the aggregation loop).  The
+            steady-state serving configuration; off prices the cold
+            per-batch path.
+        procs: :data:`SERVING` cases only — back every replica with a
+            :class:`~repro.exec.MultiProcessBackend` pool of this many
+            worker processes (0 = in-process backends; needs
+            ``shards > 0``).
     """
 
     prf: str
@@ -209,6 +223,8 @@ class BenchCase:
     qos: str = ""
     shards: int = 0
     replicas: int = 1
+    plan_cache: bool = False
+    procs: int = 0
 
     @property
     def domain_size(self) -> int:
@@ -226,6 +242,10 @@ class BenchCase:
             label += f" load={load} slo={self.slo_ms:g}ms"
             if self.shards:
                 label += f" shards={self.shards}x{self.replicas}"
+            if self.plan_cache:
+                label += " cache=on"
+            if self.procs:
+                label += f" procs={self.procs}"
             if self.chaos:
                 label += f" chaos={self.chaos}"
             if self.qos:
@@ -246,8 +266,12 @@ class BenchResult:
     rows.  ``shards`` / ``replicas`` echo the sharding axes and
     ``ejections`` / ``failovers`` sum the replica-health transitions
     across both parties' reported sessions (nonzero only for
-    ``chaos="replica_kill"`` rows).  All are meaningful for
-    :data:`SERVING` rows and 0/"" elsewhere.
+    ``chaos="replica_kill"`` rows).  ``plan_cache`` / ``procs`` echo
+    the steady-state axes, and ``plan_cache_hits`` /
+    ``plan_cache_misses`` / ``overlap_flushes`` sum the reported
+    sessions' serving-loop counters (nonzero only for
+    ``plan_cache=True`` rows).  All are meaningful for :data:`SERVING`
+    rows and 0/"" elsewhere.
     """
 
     prf: str
@@ -277,6 +301,11 @@ class BenchResult:
     replicas: int = 1
     ejections: int = 0
     failovers: int = 0
+    plan_cache: bool = False
+    procs: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    overlap_flushes: int = 0
 
 
 def _reference_blocks(batch: int, log_domain: int) -> int:
@@ -321,6 +350,9 @@ def _result(
     batch_p99_ms: float = 0.0,
     ejections: int = 0,
     failovers: int = 0,
+    plan_cache_hits: int = 0,
+    plan_cache_misses: int = 0,
+    overlap_flushes: int = 0,
 ) -> BenchResult:
     return BenchResult(
         prf=case.prf,
@@ -350,6 +382,11 @@ def _result(
         replicas=case.replicas,
         ejections=ejections,
         failovers=failovers,
+        plan_cache=case.plan_cache,
+        procs=case.procs,
+        plan_cache_hits=plan_cache_hits,
+        plan_cache_misses=plan_cache_misses,
+        overlap_flushes=overlap_flushes,
     )
 
 
@@ -433,6 +470,15 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
     counters; ``chaos="replica_kill"`` permanently kills replica 0 of
     every shard from its first dispatch, so the row prices ejection
     plus failover rather than a transient retry.
+
+    With ``case.plan_cache`` each party serves through a fresh
+    :class:`~repro.exec.PlanCache` and the aggregation loop runs with
+    ``overlap=True`` (double-buffered ingest) — the steady-state
+    configuration, priced against its cold twin; the row reports the
+    summed plan-cache and overlap counters.  With ``case.procs > 0``
+    every shard replica is a :class:`~repro.exec.MultiProcessBackend`
+    pool of that many workers (closed after each session), so the row
+    prices real process-parallel serving.
     """
     if case.slo_ms <= 0:
         raise ValueError(f"serving cases need a positive slo_ms, got {case.slo_ms}")
@@ -453,6 +499,13 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
         raise ValueError(
             "chaos='replica_kill' needs shards > 0 and replicas >= 2 "
             "(a surviving sibling to fail over to)"
+        )
+    if case.procs < 0:
+        raise ValueError(f"procs must be >= 0, got {case.procs}")
+    if case.procs and not case.shards:
+        raise ValueError(
+            "procs > 0 backs shard replicas with worker pools; it needs "
+            "a sharded server (shards > 0)"
         )
     rng = np.random.default_rng(11)
     table = rng.integers(0, 1 << 64, size=case.domain_size, dtype=np.uint64)
@@ -491,8 +544,12 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
             return FlakyBackend(inner, FaultPlan.nth(1))
         return inner
 
-    def replica_backend(shard: int, replica: int):
-        inner = SingleGpuBackend()
+    def replica_backend(shard: int, replica: int, pools: list):
+        if case.procs:
+            inner = MultiProcessBackend(workers=case.procs)
+            pools.append(inner)
+        else:
+            inner = SingleGpuBackend()
         if case.chaos == "fail_once":
             # Every replica's first dispatch dies: the set retries in
             # place, so the row prices the transient-fault recovery.
@@ -504,53 +561,76 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
             return FlakyBackend(inner, FaultPlan.after(1))
         return inner
 
-    def make_server():
+    def make_server(pools: list):
         if case.shards:
             return ShardedPirServer(
                 table,
                 shards=case.shards,
                 replicas=case.replicas,
-                backend_factory=replica_backend,
+                backend_factory=lambda s, r: replica_backend(s, r, pools),
                 prf_name=case.prf,
                 resident=resident,
+                plan_cache=PlanCache() if case.plan_cache else None,
             )
         return PirServer(
-            table, backend=backend(), prf_name=case.prf, resident=resident
+            table,
+            backend=backend(),
+            prf_name=case.prf,
+            resident=resident,
+            plan_cache=PlanCache() if case.plan_cache else None,
         )
 
     def session() -> tuple[LoadReport, dict]:
-        servers = [make_server() for _ in range(2)]
-        client = PirClient(case.domain_size, case.prf, rng=np.random.default_rng(13))
+        pools: list[MultiProcessBackend] = []
+        try:
+            servers = [make_server(pools) for _ in range(2)]
+            client = PirClient(
+                case.domain_size, case.prf, rng=np.random.default_rng(13)
+            )
+            counters = {
+                "plan_cache_hits": 0,
+                "plan_cache_misses": 0,
+                "overlap_flushes": 0,
+            }
 
-        async def run():
-            loops = [
-                AsyncPirServer(
-                    server,
-                    slo=slo,
-                    admission=admission,
-                    qos=qos_policy,
-                    retry=RetryPolicy(max_attempts=3),
-                )
-                for server in servers
-            ]
-            async with loops[0], loops[1]:
-                return await generate_load(
-                    client,
-                    loops,
-                    indices,
-                    offered_qps=case.offered_qps,
-                    tenants=tenants,
-                )
+            async def run():
+                loops = [
+                    AsyncPirServer(
+                        server,
+                        slo=slo,
+                        admission=admission,
+                        qos=qos_policy,
+                        retry=RetryPolicy(max_attempts=3),
+                        overlap=case.plan_cache,
+                    )
+                    for server in servers
+                ]
+                async with loops[0], loops[1]:
+                    report = await generate_load(
+                        client,
+                        loops,
+                        indices,
+                        offered_qps=case.offered_qps,
+                        tenants=tenants,
+                    )
+                for loop in loops:
+                    counters["plan_cache_hits"] += loop.stats.plan_cache_hits
+                    counters["plan_cache_misses"] += loop.stats.plan_cache_misses
+                    counters["overlap_flushes"] += loop.stats.overlap_flushes
+                return report
 
-        report = asyncio.run(run())
-        health = {"retries": 0, "ejections": 0, "failovers": 0}
-        if case.shards:
-            for server in servers:
-                totals = server.stats_totals()
-                health["retries"] += totals.retries
-                health["ejections"] += totals.ejections
-                health["failovers"] += totals.failovers
-        return report, health
+            report = asyncio.run(run())
+            health = {"retries": 0, "ejections": 0, "failovers": 0}
+            if case.shards:
+                for server in servers:
+                    totals = server.stats_totals()
+                    health["retries"] += totals.retries
+                    health["ejections"] += totals.ejections
+                    health["failovers"] += totals.failovers
+            return report, {**health, **counters}
+        finally:
+            for pool in pools:
+                pool.close()
 
     verified = False
     if verify:
@@ -574,6 +654,14 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
             )
         if not np.array_equal(report.answers, table[np.array(report.indices)]):
             raise ValueError(f"served answers diverged from the table for {case}")
+        if case.plan_cache and not case.procs and not (
+            health["plan_cache_hits"] + health["plan_cache_misses"]
+        ):
+            # procs rows evaluate through the workers' own caches, which
+            # the loop-visible front-end cache never sees.
+            raise ValueError(
+                f"plan_cache row recorded no cache lookups for {case}"
+            )
         verified = True
 
     for _ in range(case.warmup):
@@ -608,6 +696,9 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
         ),
         ejections=best_health["ejections"],
         failovers=best_health["failovers"],
+        plan_cache_hits=best_health["plan_cache_hits"],
+        plan_cache_misses=best_health["plan_cache_misses"],
+        overlap_flushes=best_health["overlap_flushes"],
     )
 
 
@@ -825,20 +916,28 @@ def default_grid(
         # (maximum aggregation pressure) and a paced stream, each under
         # a tight and a loose flush deadline.  qps/p50/p99 vs offered
         # load and SLO, per the serving-loop acceptance criteria.
+        # Each row is immediately followed by its plan-cache twin
+        # (memoized plans + pinned workspaces + overlapped ingest), so
+        # the warm-vs-cold steady-state comparison runs back-to-back in
+        # the same session and host-load drift cannot skew it.
+        # The twins get extra repeats: they are compared to each other
+        # by ratio, and a best-of draw from two noisy session
+        # distributions needs more samples than an absolute row does to
+        # reach its steady-state floor.
         for offered_qps in (0.0, 512.0):
             for slo_ms in (1.0, 8.0):
-                cases.append(
-                    BenchCase(
-                        ingest_prf,
-                        SERVING,
-                        32,
-                        min(log_domains),
-                        ingest="wire",
-                        repeats=repeats,
-                        offered_qps=offered_qps,
-                        slo_ms=slo_ms,
-                    )
+                cold = BenchCase(
+                    ingest_prf,
+                    SERVING,
+                    32,
+                    min(log_domains),
+                    ingest="wire",
+                    repeats=max(repeats, 7),
+                    offered_qps=offered_qps,
+                    slo_ms=slo_ms,
                 )
+                cases.append(cold)
+                cases.append(dataclasses.replace(cold, plan_cache=True))
         # Control-plane scenarios, each next to its healthy burst twin:
         # a mid-session backend death (recovery cost via retry/requeue)
         # and a mixed interactive/batch tenant load (per-class p99).
@@ -860,12 +959,16 @@ def default_grid(
         # Sharded serving: the same burst session across shard widths
         # (sharding overhead vs the unsharded twin above), a replicated
         # set, and the replica-kill failover scenario — ejection plus
-        # failover priced against its healthy 2x2 twin.
-        for shards, replicas, chaos in (
-            (2, 1, ""),
-            (4, 1, ""),
-            (2, 2, ""),
-            (2, 2, "replica_kill"),
+        # failover priced against its healthy 2x2 twin.  The final row
+        # backs each shard replica with a 2-worker process pool (the
+        # combined fast path: per-worker plan caches + resident column
+        # slices), next to its in-process twin.
+        for shards, replicas, chaos, procs in (
+            (2, 1, "", 0),
+            (4, 1, "", 0),
+            (2, 2, "", 0),
+            (2, 2, "replica_kill", 0),
+            (2, 1, "", 2),
         ):
             cases.append(
                 BenchCase(
@@ -880,6 +983,7 @@ def default_grid(
                     chaos=chaos,
                     shards=shards,
                     replicas=replicas,
+                    procs=procs,
                 )
             )
     return cases
@@ -889,11 +993,12 @@ def smoke_grid() -> list[BenchCase]:
     """A seconds-long grid for CI: every strategy once, two PRFs,
     plus one wire-ingest eval, one persistent-arena eval, one ingestion
     micro-case, the end-to-end PIR round trip on every serving path,
-    and five async serving sessions (healthy, fail-once chaos, mixed
-    QoS, sharded, and sharded replica-kill failover), so every ingest
+    and seven async serving sessions (healthy, plan-cache + overlap,
+    fail-once chaos, mixed QoS, sharded, sharded replica-kill
+    failover, and a worker-pool sharded session), so every ingest
     mode, the pipeline, the aggregation loop, the fault-tolerant
-    control plane, and the sharded/replicated front-end all stay
-    exercised."""
+    control plane, the sharded/replicated front-end, and the
+    steady-state serving paths all stay exercised."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
@@ -917,6 +1022,22 @@ def smoke_grid() -> list[BenchCase]:
             warmup=0,
             offered_qps=0.0,
             slo_ms=2.0,
+        )
+    )
+    # Steady-state smoke: the same session through the plan cache with
+    # overlapped ingest — cache lookups and bit-exact answers in CI.
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+            plan_cache=True,
         )
     )
     # Control-plane smoke: a backend dying mid-session (retry/requeue
@@ -980,6 +1101,23 @@ def smoke_grid() -> list[BenchCase]:
             chaos="replica_kill",
             shards=2,
             replicas=2,
+        )
+    )
+    # Worker-pool smoke: each shard replica served by a 2-process pool
+    # (combined fast path + per-worker caches) stays exercised in CI.
+    cases.append(
+        BenchCase(
+            "chacha20",
+            SERVING,
+            8,
+            6,
+            ingest="wire",
+            repeats=1,
+            warmup=0,
+            offered_qps=0.0,
+            slo_ms=2.0,
+            shards=2,
+            procs=2,
         )
     )
     for strategy in available_strategies():

@@ -19,9 +19,13 @@ Because the four byte indices then all come from the *same* permuted
 column, adjacent byte pairs form 16-bit indices into two fused
 65536-entry tables ``T01[b0|b1<<8] = T0[b0]^T1[b1]`` and ``T23`` —
 halving the gather count per round.  A grow-on-demand scratch
-workspace (module-level, not thread-safe) keeps the nine rounds free
-of per-call allocations; this matters because the DPF expansion calls
-the cipher once per tree level with geometrically growing batches.
+workspace (one per thread) keeps the nine rounds free of per-call
+allocations; this matters because the DPF expansion calls the cipher
+once per tree level with geometrically growing batches.  The
+workspace is thread-*local* because overlapped serving
+(``AsyncPirServer(overlap=True)``) runs each party's dispatch on its
+own executor thread — a shared workspace would let two concurrent
+expansions scribble over each other's round state.
 
 The pre-T-table byte pipeline (SubBytes/ShiftRows/MixColumns as
 separate numpy passes) is retained as
@@ -33,6 +37,8 @@ permutation in Matyas--Meyer--Oseas mode and never needs to decrypt.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -126,13 +132,16 @@ allocation is noise next to the gathers, and a single huge query must
 not pin hundreds of megabytes for the life of the process."""
 
 
-class _Workspace:
+class _Workspace(threading.local):
     """Grow-on-demand round buffers shared across encrypt calls.
 
-    Module-level (one instance) and deliberately not thread-safe: the
-    DPF hot loop is single-threaded numpy, and reusing these buffers
-    across the O(log L) per-level cipher calls removes every per-round
-    allocation from the nine-round loop.
+    One instance per *thread* (``threading.local``): reusing these
+    buffers across the O(log L) per-level cipher calls removes every
+    per-round allocation from the nine-round loop, and the per-thread
+    split keeps concurrent expansions — two parties' overlapped
+    serving dispatches run on separate executor threads in one
+    process — from corrupting each other's round state.  A thread that
+    never encrypts pays nothing; ``__init__`` runs lazily per thread.
     """
 
     def __init__(self):

@@ -12,9 +12,12 @@ and SLO hints) and hands it to any :class:`ExecutionBackend`:
 * :meth:`ExecutionBackend.run` — the functional ``(B, L)`` share
   matrix plus the plan and merged cost, as an :class:`EvalResult`.
 
-The three adapters (:class:`SingleGpuBackend`, :class:`MultiGpuBackend`,
-:class:`SimulatedBackend`) produce bit-identical answers; the PIR
-pipeline in :mod:`repro.pir` serves through whichever one it is handed.
+The four adapters (:class:`SingleGpuBackend`, :class:`MultiGpuBackend`,
+:class:`SimulatedBackend`, :class:`MultiProcessBackend`) produce
+bit-identical answers; the PIR pipeline in :mod:`repro.pir` serves
+through whichever one it is handed.  :class:`PlanCache` adds the
+zero-dispatch steady-state path on top: memoized plans plus pinned
+workspaces per workload shape, with pow2 batch bucketing.
 """
 
 from repro.exec.backend import (
@@ -24,6 +27,8 @@ from repro.exec.backend import (
     SingleGpuBackend,
     merged_cost,
 )
+from repro.exec.plan_cache import PlanCache, PlanCacheStats, batch_bucket
+from repro.exec.procpool import MultiProcessBackend, WorkerFailure
 from repro.exec.request import EvalRequest, EvalResult, ExecutionPlan
 
 __all__ = [
@@ -33,6 +38,11 @@ __all__ = [
     "ExecutionBackend",
     "SingleGpuBackend",
     "MultiGpuBackend",
+    "MultiProcessBackend",
     "SimulatedBackend",
+    "PlanCache",
+    "PlanCacheStats",
+    "WorkerFailure",
+    "batch_bucket",
     "merged_cost",
 ]

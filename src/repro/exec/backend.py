@@ -129,6 +129,40 @@ class ExecutionBackend(abc.ABC):
     def run(self, request: EvalRequest) -> EvalResult:
         """Evaluate the request's keys over the full domain."""
 
+    @property
+    def plan_key(self) -> tuple:
+        """Hashable identity for shared plan caches.
+
+        Two backends with equal ``plan_key`` must produce
+        interchangeable :class:`ExecutionPlan`/workspace pairs for the
+        same request shape.  The base implementation is deliberately
+        conservative — unique per instance — so an unknown backend (or
+        a fault-injecting wrapper) never shares cache entries it did
+        not prove it can share.  Concrete backends override this with
+        their modeled-device identity.
+        """
+        return (self.name, id(self))
+
+    def run_with_plan(
+        self,
+        request: EvalRequest,
+        plan: ExecutionPlan,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> EvalResult:
+        """Evaluate under an already-priced plan, reusing ``workspace``.
+
+        The zero-dispatch hot path a :class:`~repro.exec.plan_cache
+        .PlanCache` drives: the cache supplies the memoized plan and the
+        pinned scratch workspace, so the steady state skips strategy
+        re-selection and workspace churn entirely.  The default
+        implementation falls back to :meth:`run` (ignoring both hints),
+        which keeps wrappers — fault injectors especially — correct
+        without their own override: their ``run`` still sees every
+        dispatch.
+        """
+        del plan, workspace
+        return self.run(request)
+
     def model_latency_s(
         self,
         batch_size: int,
@@ -220,14 +254,25 @@ class SingleGpuBackend(ExecutionBackend):
             batch_size, table_entries, prf_name, resident
         )
 
+    @property
+    def plan_key(self) -> tuple:
+        return (self.name, self.device.name, id(self._strategies))
+
     def run(self, request: EvalRequest) -> EvalResult:
-        plan = self.plan(request)
+        return self.run_with_plan(request, self.plan(request))
+
+    def run_with_plan(
+        self,
+        request: EvalRequest,
+        plan: ExecutionPlan,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> EvalResult:
         name = plan.strategies[0]
         strategy = self._by_name.get(name) or get_strategy(name)
         answers = strategy.eval_batch(
             request.arena(),
             get_prf(request.resolved_prf_name),
-            workspace=self._workspace,
+            workspace=workspace if workspace is not None else self._workspace,
         )
         return EvalResult(
             answers=self._apply_range(request, answers),
@@ -286,8 +331,23 @@ class MultiGpuBackend(ExecutionBackend):
             resident_keys=resident,
         ).latency_s
 
+    @property
+    def plan_key(self) -> tuple:
+        return (self.name, tuple(device.name for device in self.devices))
+
     def run(self, request: EvalRequest) -> EvalResult:
-        plan = self.plan(request)
+        return self.run_with_plan(request, self.plan(request))
+
+    def run_with_plan(
+        self,
+        request: EvalRequest,
+        plan: ExecutionPlan,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> EvalResult:
+        # The executor keeps one persistent workspace per device already,
+        # so the cache's pinned workspace is unused here; reusing the
+        # cached plan still skips the per-flush shard re-pricing.
+        del workspace
         answers = self._executor(request.entry_bytes).eval_batch(
             request.arena(),
             get_prf(request.resolved_prf_name),
@@ -337,8 +397,22 @@ class SimulatedBackend(ExecutionBackend):
             entry_bytes=entry_bytes,
         )
 
+    @property
+    def plan_key(self) -> tuple:
+        return (self.name, self.device.name)
+
     def run(self, request: EvalRequest) -> EvalResult:
-        plan = self.plan(request)
+        return self.run_with_plan(request, self.plan(request))
+
+    def run_with_plan(
+        self,
+        request: EvalRequest,
+        plan: ExecutionPlan,
+        workspace: ExpansionWorkspace | None = None,
+    ) -> EvalResult:
+        # The reference walk allocates per key and wants no workspace;
+        # reusing the cached plan skips only the modeled re-pricing.
+        del workspace
         prf = get_prf(request.resolved_prf_name)
         lo, hi = request.resolved_range()
         if (lo, hi) == (0, request.arena().domain_size):

@@ -126,6 +126,33 @@ class EvalRequest:
         request.resolved_range()
         return request
 
+    def padded(self, total: int) -> "EvalRequest":
+        """A copy of this request padded to ``total`` keys.
+
+        The pad half of the plan cache's pad-and-slice bucketing: the
+        arena grows to ``total`` rows by repeating its last key
+        (:meth:`KeyArena.pad_to`), every other setting — including any
+        ``eval_range`` restriction — is preserved, and the caller slices
+        the padded tail back off the answers (``answers[:batch]``).  A
+        ``total`` equal to the current batch returns ``self`` unchanged.
+
+        Raises:
+            ValueError: If ``total`` is smaller than the current batch.
+        """
+        arena = self.arena()
+        if total == arena.batch:
+            return self
+        grown = arena.pad_to(total)
+        return EvalRequest(
+            keys=grown,
+            prf_name=self.prf_name,
+            entry_bytes=self.entry_bytes,
+            resident=self.resident,
+            slo_latency_s=self.slo_latency_s,
+            eval_range=self.eval_range,
+            _arena=grown,
+        )
+
     @classmethod
     def merge(
         cls, requests: Sequence["EvalRequest"]

@@ -306,7 +306,88 @@ class KeyArena:
             negate=np.concatenate([a.negate for a in arenas]),
         )
 
+    def pad_to(self, total: int) -> "KeyArena":
+        """Pad to ``total`` rows by repeating the last key.
+
+        This is the pad half of the plan cache's pad-and-slice batch
+        bucketing: a batch of 13 runs at the pow2 bucket of 16, with the
+        last key duplicated into the 3 tail rows so every row is a
+        well-formed key for the same domain and PRF.  Callers slice the
+        answers back to the true batch (``answers[:batch]``), so the
+        padded rows can never reach a client — duplicating a *real* key
+        keeps the tail bit-exact-evaluable without inventing key
+        material.
+
+        Args:
+            total: Target batch size, ``>= batch``.  Equal sizes return
+                ``self`` (no copy).
+
+        Raises:
+            ValueError: If ``total`` is smaller than the current batch.
+        """
+        if total < self.batch:
+            raise ValueError(
+                f"cannot pad a batch of {self.batch} down to {total} rows"
+            )
+        if total == self.batch:
+            return self
+        pad = total - self.batch
+
+        def padded(field: np.ndarray) -> np.ndarray:
+            return np.concatenate([field, np.repeat(field[-1:], pad, axis=0)])
+
+        return KeyArena(
+            batch=total,
+            depth=self.depth,
+            domain_size=self.domain_size,
+            prf_name=self.prf_name,
+            roots=padded(self.roots),
+            root_ts=padded(self.root_ts),
+            cw_seeds=padded(self.cw_seeds),
+            cw_t_left=padded(self.cw_t_left),
+            cw_t_right=padded(self.cw_t_right),
+            output_cws=padded(self.output_cws),
+            negate=padded(self.negate),
+        )
+
     # -- views and round trips -----------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Serialize back to the concatenated wire format, vectorized.
+
+        The exact inverse of :meth:`from_wire` (and byte-identical to
+        ``pack_keys(arena.to_keys())``), built as one ``(B, record)``
+        uint8 matrix with column assignments — no per-key Python
+        objects.  This is how a multi-process backend ships a batch to
+        worker processes: wire bytes cross the pipe, not pickled arrays,
+        and the worker re-parses with the vectorized ``from_wire``.
+        """
+        prf_bytes = self.prf_name.encode()
+        prf_len = len(prf_bytes)
+        record = _record_size(self.depth, prf_len)
+        b = self.batch
+        mat = np.empty((b, record), dtype=np.uint8)
+        # Header template with party and output_cw zeroed; both are
+        # overwritten column-wise below.
+        template = struct.pack(
+            _HEADER_FMT, _MAGIC, 0, self.depth, self.domain_size, 0, prf_len
+        )
+        mat[:, : HEADER_BYTES + prf_len] = np.frombuffer(
+            template + prf_bytes, dtype=np.uint8
+        )
+        mat[:, 4] = self.negate
+        mat[:, 10:18] = (
+            np.ascontiguousarray(self.output_cws, dtype="<u8")
+            .view(np.uint8)
+            .reshape(b, 8)
+        )
+        name_end = HEADER_BYTES + prf_len
+        mat[:, name_end] = self.root_ts
+        mat[:, name_end + 1 : name_end + 17] = self.roots
+        cw = mat[:, name_end + 17 :].reshape(b, self.depth, CW_BYTES)
+        cw[:, :, :16] = self.cw_seeds
+        cw[:, :, 16] = self.cw_t_left | (self.cw_t_right << np.uint8(1))
+        return mat.tobytes()
 
     def __eq__(self, other: object) -> bool:
         """Field-for-field equality (array fields compared by value)."""

@@ -125,7 +125,7 @@ class Scheduler:
         self.device = device
         self.entry_bytes = entry_bytes
         self.strategies = strategies if strategies is not None else default_strategies()
-        self._cache: dict[tuple[int, int, str, bool], Selection] = {}
+        self._cache: dict[tuple[int, int, str, bool, int], Selection] = {}
 
     def select(
         self,
@@ -134,8 +134,18 @@ class Scheduler:
         prf_name: str = "aes128",
         resident_keys: bool = False,
     ) -> Selection:
-        """Cached :func:`select_strategy` for this scheduler's device."""
-        key = (batch_size, table_entries, prf_name, resident_keys)
+        """Cached :func:`select_strategy` for this scheduler's device.
+
+        The memo key carries every input that shapes the decision:
+        batch, table, PRF, residency, *and* ``entry_bytes``.  Residency
+        changes ``host_bytes_in`` and device-capacity pressure, and
+        ``entry_bytes`` changes the output-transfer and memory phases —
+        two shapes differing in either must never share a cached
+        selection (``entry_bytes`` is an instance attribute, but keying
+        on it keeps the cache correct even if a caller mutates it
+        between decisions).
+        """
+        key = (batch_size, table_entries, prf_name, resident_keys, self.entry_bytes)
         if key not in self._cache:
             self._cache[key] = select_strategy(
                 batch_size,

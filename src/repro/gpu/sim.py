@@ -40,6 +40,18 @@ from __future__ import annotations
 from repro.gpu.device import DeviceSpec, V100
 from repro.gpu.kernel import KernelPhase, KernelPlan, KernelStats
 
+HOST_PARSE_BANDWIDTH = 2.0e9
+"""Modeled host-side wire-parse rate, bytes/s.
+
+The vectorized :meth:`~repro.gpu.arena.KeyArena.from_wire` parse is one
+``np.frombuffer`` + strided column slices — a streaming memcpy-class
+pass over the wire buffer on the host CPU, not a device operation, so
+it is priced against a host bandwidth constant rather than the device's
+memory system.  2 GB/s is the order measured for the parse on one
+commodity core; the serving pipeline hides this time entirely when
+double-buffered ingest is on (see :meth:`GpuSimulator.pipelined_latency_s`).
+"""
+
 
 class GpuSimulator:
     """Prices kernel plans on one device.
@@ -138,3 +150,30 @@ class GpuSimulator:
             overhead_time_s=overhead + transfer,
             feasible=feasible,
         )
+
+    def host_parse_s(self, plan: KernelPlan) -> float:
+        """Modeled host-side wire-parse time for the plan's key batch.
+
+        The bytes parsed are the plan's ``host_bytes_in`` (the wire key
+        material crossing PCIe); a resident-keys plan has nothing to
+        parse per batch, so its parse time is zero — exactly as its
+        transfer time already is.
+        """
+        return plan.host_bytes_in / HOST_PARSE_BANDWIDTH
+
+    def pipelined_latency_s(self, plan: KernelPlan, overlap: bool = True) -> float:
+        """Steady-state per-batch latency with or without ingest overlap.
+
+        Without overlap a serving loop alternates: parse batch N+1's
+        wire keys, then expand batch N — per-batch cost is the *sum* of
+        parse and kernel time.  With double-buffered ingest the parse of
+        batch N+1 runs on the host while batch N's expansion occupies
+        the device, so the steady-state cost is the *maximum* of the two
+        stages (the classic two-stage software pipeline; the analogue of
+        ``cp.async`` double-buffering inside a kernel).  The pipeline
+        can only hide host work behind device work, so the floor is the
+        kernel latency from :meth:`simulate`.
+        """
+        kernel = self.simulate(plan).latency_s
+        parse = self.host_parse_s(plan)
+        return max(kernel, parse) if overlap else kernel + parse

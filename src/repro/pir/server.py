@@ -27,7 +27,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.exec import EvalRequest, EvalResult, ExecutionBackend, SingleGpuBackend
+from repro.exec import (
+    EvalRequest,
+    EvalResult,
+    ExecutionBackend,
+    PlanCache,
+    SingleGpuBackend,
+)
 from repro.gpu.arena import KeySource
 from repro.pir.wire import PirQuery, PirReply
 
@@ -52,6 +58,11 @@ class PirServer:
             unlimited).  An oversized batch is rejected at ingestion,
             before any O(B*L) evaluation — the synchronous counterpart
             of the serving loop's admission control.
+        plan_cache: Optional :class:`~repro.exec.PlanCache`.  When set,
+            :meth:`answer_request` evaluates through it — memoized
+            plans, pinned workspaces, pow2 batch bucketing — instead of
+            re-planning per batch.  Answers are bit-identical either
+            way; steady-state serving skips all Python-side re-setup.
     """
 
     def __init__(
@@ -61,6 +72,7 @@ class PirServer:
         prf_name: str = "aes128",
         resident: bool = False,
         max_batch: int | None = None,
+        plan_cache: "PlanCache | None" = None,
     ):
         table = np.ascontiguousarray(np.asarray(table, dtype=np.uint64))
         if table.ndim != 1 or table.size == 0:
@@ -72,6 +84,7 @@ class PirServer:
         self.prf_name = prf_name
         self.resident = resident
         self.max_batch = max_batch
+        self.plan_cache = plan_cache
         self.epoch = 0
         """The single table epoch this server serves.  An unversioned
         server never updates its table, so every query must be pinned to
@@ -219,6 +232,8 @@ class PirServer:
         """
         self.check_epoch(epoch)
         backend = backend if backend is not None else self.backend
+        if self.plan_cache is not None:
+            return self.combine(self.plan_cache.run(backend, request).answers)
         return self.combine(backend.run(request).answers)
 
     def handle(self, request_bytes: bytes) -> bytes:

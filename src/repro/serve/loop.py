@@ -53,7 +53,9 @@ from __future__ import annotations
 
 import asyncio
 import time
+import weakref
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -82,6 +84,56 @@ FLUSH_DEADLINE = "deadline"
 
 FLUSH_DRAIN = "drain"
 """Flush reason: the loop is stopping and drained its queue."""
+
+
+_DISPATCH_EXECUTORS: (
+    "weakref.WeakKeyDictionary[asyncio.AbstractEventLoop, list]"
+) = weakref.WeakKeyDictionary()
+"""Per-event-loop shared dispatch executor, as ``[executor, refcount]``."""
+
+
+def _acquire_dispatch_executor(
+    loop: asyncio.AbstractEventLoop,
+) -> ThreadPoolExecutor:
+    """The event loop's single shared dispatch thread (refcounted).
+
+    Every overlapped serving loop on one event loop dispatches through
+    the *same* one-thread executor.  One thread is the point: the two
+    parties of the protocol normally run in one process, and giving
+    each its own dispatch thread would run their expansions
+    concurrently — which is not what double-buffering means (the
+    pipeline overlaps *ingest* with expansion, never expansion with
+    expansion) and, on a host without spare cores, actively loses
+    throughput to GIL convoying between the two kernels.  Sharing one
+    thread serializes every expansion in FIFO order while each loop
+    still keeps at most one dispatch in flight, so replies stay
+    bit-identical to sequential serving.
+    """
+    entry = _DISPATCH_EXECUTORS.get(loop)
+    if entry is None:
+        entry = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="pir-dispatch"),
+            0,
+        ]
+        _DISPATCH_EXECUTORS[loop] = entry
+    entry[1] += 1
+    return entry[0]
+
+
+def _release_dispatch_executor(
+    loop: asyncio.AbstractEventLoop, executor: ThreadPoolExecutor
+) -> None:
+    """Drop one reference; the last holder shuts the executor down."""
+    entry = _DISPATCH_EXECUTORS.get(loop)
+    if entry is None or entry[0] is not executor:
+        # Not (or no longer) the loop's shared executor — orphaned, so
+        # shutting it down affects only the caller.
+        executor.shutdown(wait=True)
+        return
+    entry[1] -= 1
+    if entry[1] <= 0:
+        del _DISPATCH_EXECUTORS[loop]
+        executor.shutdown(wait=True)
 
 
 class PirServerOverloaded(RuntimeError):
@@ -208,6 +260,14 @@ class ServingStats:
             :data:`FLUSH_DEADLINE` / :data:`FLUSH_DRAIN`).
         routes: Dispatch counts keyed by fleet backend label (only
             populated when a fleet scheduler is attached).
+        plan_cache_hits: The wrapped server's plan-cache hits so far
+            (mirrored from ``server.plan_cache.stats`` after each
+            flush; 0 when no cache is attached).
+        plan_cache_misses: Plan-cache misses, mirrored the same way.
+        overlap_flushes: Flushes whose expansion overlapped with new
+            submissions — at least one query was parsed/enqueued while
+            the batch ran in the dispatch thread.  Nonzero proves the
+            double-buffered pipeline actually pipelined.
     """
 
     submitted: int = 0
@@ -222,6 +282,9 @@ class ServingStats:
     largest_batch: int = 0
     flushes: dict[str, int] = field(default_factory=dict)
     routes: dict[str, int] = field(default_factory=dict)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    overlap_flushes: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -266,6 +329,19 @@ class AsyncPirServer:
         retry: Batch-failure :class:`~repro.serve.control.RetryPolicy`
             (default: up to 3 attempts, immediate).  Pass
             ``RetryPolicy(max_attempts=1)`` to disable retries.
+        overlap: Double-buffered ingest.  When on, each fused batch's
+            expansion runs on the event loop's shared dispatch thread
+            (one thread per event loop, shared by every overlapped
+            serving loop on it) while the event loop keeps accepting
+            submissions — wire-parse of batch N+1 (`KeyArena.from_wire`
+            inside ``submit``) overlaps expansion of batch N, the
+            classic two-slot pipeline.  Expansions never overlap each
+            other: the shared thread serializes both parties' kernels
+            in FIFO order, and each loop keeps at most one dispatch in
+            flight, so answers stay bit-identical to sequential
+            serving; the win is fuller fused batches and hidden parse
+            time.  Off by default: deterministic tests drive the loop
+            with fake clocks and expect strictly sequential dispatch.
         clock: Monotonic time source (injectable for tests).
 
     Use as an async context manager, or call :meth:`start` /
@@ -283,6 +359,7 @@ class AsyncPirServer:
         fleet: FleetScheduler | None = None,
         qos: QosPolicy | None = None,
         retry: RetryPolicy | None = None,
+        overlap: bool = False,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.server = server
@@ -291,6 +368,8 @@ class AsyncPirServer:
         self.fleet = fleet
         self.qos = qos
         self.retry = retry if retry is not None else RetryPolicy()
+        self.overlap = overlap
+        self._executor: ThreadPoolExecutor | None = None
         self.stats = ServingStats()
         self._clock = clock
         self._drain_model = DrainTimeModel(
@@ -316,6 +395,8 @@ class AsyncPirServer:
             return
         self._stopping = False
         self._wake = asyncio.Event()
+        if self.overlap and self._executor is None:
+            self._executor = _acquire_dispatch_executor(asyncio.get_running_loop())
         self._task = asyncio.create_task(self._run())
 
     async def stop(self) -> None:
@@ -326,6 +407,9 @@ class AsyncPirServer:
         self._wake.set()
         await self._task
         self._task = None
+        if self._executor is not None:
+            _release_dispatch_executor(asyncio.get_running_loop(), self._executor)
+            self._executor = None
 
     async def __aenter__(self) -> "AsyncPirServer":
         await self.start()
@@ -484,7 +568,7 @@ class AsyncPirServer:
             self._promote_retries()
             reason = self._flush_reason()
             if reason is not None:
-                self._flush(reason)
+                await self._flush(reason)
                 await self._settle()
                 continue
             self._wake.clear()
@@ -498,7 +582,7 @@ class AsyncPirServer:
         # each failed dispatch consumes a bounded retry attempt.
         while self._retrying or any(self._queues.values()):
             self._promote_retries(force=True)
-            self._flush(FLUSH_DRAIN)
+            await self._flush(FLUSH_DRAIN)
             await self._settle()
 
     async def _settle(self) -> None:
@@ -614,7 +698,7 @@ class AsyncPirServer:
         self._queued_queries -= count
         return taken
 
-    def _flush(self, reason: str) -> None:
+    async def _flush(self, reason: str) -> None:
         taken = self._take_batch()
         if not taken:  # everything pending had been cancelled
             return
@@ -627,20 +711,41 @@ class AsyncPirServer:
             # One answer_request for the whole fused batch (the server's
             # overridable serving seam — a sharded server fans out and
             # recombines inside it), then per-request slicing: the
-            # demux is row offsets, nothing recomputed.
+            # demux is row offsets, nothing recomputed.  Fleet routing
+            # stays on the loop thread (it reads mutable queue state);
+            # only the dispatch itself may move to the overlap thread.
             if self.fleet is not None:
                 decision = self.fleet.route(merged)
-                answers = self.server.answer_request(
-                    merged,
-                    epoch=epoch,
-                    backend=self.fleet.backends[decision.backend_index],
-                    sizes=sizes,
-                )
+                backend = self.fleet.backends[decision.backend_index]
             else:
-                answers = self.server.answer_request(merged, epoch=epoch, sizes=sizes)
+                backend = None
+
+            def dispatch() -> np.ndarray:
+                if backend is not None:
+                    return self.server.answer_request(
+                        merged, epoch=epoch, backend=backend, sizes=sizes
+                    )
+                return self.server.answer_request(merged, epoch=epoch, sizes=sizes)
+
+            if self.overlap and self._executor is not None:
+                # Two-slot pipeline: while this batch expands on the
+                # dispatch thread, the event loop keeps parsing and
+                # enqueueing the next batch's queries.  Exactly one
+                # dispatch is ever in flight, so answers are
+                # bit-identical to the sequential path.
+                submitted_before = self.stats.submitted
+                answers = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, dispatch
+                )
+                if self.stats.submitted > submitted_before:
+                    self.stats.overlap_flushes += 1
+            else:
+                answers = dispatch()
         except Exception as exc:
             self._requeue_or_fail(taken, merged, sizes, exc)
+            self._sync_plan_cache_stats()
             return
+        self._sync_plan_cache_stats()
         self.stats.batches += 1
         self.stats.largest_batch = max(self.stats.largest_batch, int(answers.size))
         self.stats.flushes[reason] = self.stats.flushes.get(reason, 0) + 1
@@ -663,6 +768,19 @@ class AsyncPirServer:
                 continue
             pending.future.set_result(reply)
             self.stats.answered += size
+
+    def _sync_plan_cache_stats(self) -> None:
+        """Mirror the wrapped server's plan-cache counters into stats.
+
+        The :class:`~repro.exec.PlanCache` owns the authoritative
+        counters (it is shared with synchronous callers); the serving
+        stats snapshot them after each flush so one ``stats`` object
+        tells the whole steady-state story.
+        """
+        cache = getattr(self.server, "plan_cache", None)
+        if cache is not None:
+            self.stats.plan_cache_hits = cache.stats.hits
+            self.stats.plan_cache_misses = cache.stats.misses
 
     def _requeue_or_fail(
         self,

@@ -60,6 +60,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exec.backend import ExecutionBackend, SingleGpuBackend
+from repro.exec.plan_cache import PlanCache
 from repro.exec.request import EvalRequest
 from repro.pir.server import PirServer
 from repro.serve.control import RetryPolicy
@@ -309,6 +310,13 @@ class ReplicaSet:
             (an ejected replica stays dead).
         probation_successes: Consecutive successes that promote a
             probation replica back to healthy.
+        plan_cache: Optional :class:`~repro.exec.PlanCache` shared by
+            this set's replicas: dispatches evaluate through it (the
+            cache key carries the backend identity, so distinct devices
+            never exchange plans).  Backends that hold their *own*
+            worker-side caches and resident slices (duck-typed
+            ``run_combined`` — :class:`~repro.exec.MultiProcessBackend`)
+            bypass it on the combined fast path.
     """
 
     def __init__(
@@ -320,6 +328,7 @@ class ReplicaSet:
         retry: RetryPolicy | None = None,
         rejoin_after: int | None = 3,
         probation_successes: int = 2,
+        plan_cache: "PlanCache | None" = None,
     ):
         if not backends:
             raise ValueError("need at least one replica backend")
@@ -338,6 +347,7 @@ class ReplicaSet:
         self.retry = retry if retry is not None else RetryPolicy()
         self.rejoin_after = rejoin_after
         self.probation_successes = probation_successes
+        self.plan_cache = plan_cache
         self.stats = ShardStats()
         self._cursor = 0
 
@@ -348,7 +358,12 @@ class ReplicaSet:
         return self.hi - self.lo
 
     def install_epoch(self, epoch: int, table_slice: np.ndarray) -> None:
-        """Install one epoch's ``(hi - lo,)`` slice (a zero-copy view)."""
+        """Install one epoch's ``(hi - lo,)`` slice (a zero-copy view).
+
+        Replica backends that expose ``install_table`` (the worker-pool
+        backend) additionally get the slice pushed into their workers,
+        enabling the combined fast path for this epoch.
+        """
         if table_slice.shape != (self.entries,):
             raise ValueError(
                 f"shard {self.shard_index} serves {self.entries} rows but "
@@ -356,9 +371,17 @@ class ReplicaSet:
             )
         self._tables = getattr(self, "_tables", {})
         self._tables[epoch] = table_slice
+        for replica in self.replicas:
+            install = getattr(replica.backend, "install_table", None)
+            if callable(install):
+                install(epoch, self.lo, table_slice)
 
     def drop_epoch(self, epoch: int) -> None:
         self._tables.pop(epoch, None)
+        for replica in self.replicas:
+            drop = getattr(replica.backend, "drop_table", None)
+            if callable(drop):
+                drop(epoch)
 
     # -- health --------------------------------------------------------
 
@@ -418,10 +441,23 @@ class ReplicaSet:
         the budget is spent (probation replicas have none)."""
         table = self._tables[epoch]
         restricted = request.restrict(self.lo, self.hi)
+        combined = getattr(replica.backend, "run_combined", None)
         attempts = 0
         while True:
             attempts += 1
             try:
+                if callable(combined):
+                    # Worker-pool fast path: the backend holds this
+                    # shard's resident slice per worker and returns the
+                    # (B,) partial directly — domain-parallel, tiny IPC.
+                    return combined(restricted, epoch)
+                if self.plan_cache is not None:
+                    # Zero-dispatch path: memoized plan + pinned
+                    # workspace, keyed per backend identity.
+                    return (
+                        self.plan_cache.run(replica.backend, restricted).answers
+                        @ table
+                    )
                 # (B, hi-lo) range-restricted shares dotted with this
                 # shard's slice: the partial sum the front-end adds up.
                 return replica.backend.run(restricted).answers @ table
@@ -527,6 +563,10 @@ class ShardedPirServer(PirServer):
         retain_epochs: Published epochs kept answerable (>= 1; 2 keeps
             the pre-flip epoch alive through each flip).
         prf_name, resident, max_batch: As on :class:`PirServer`.
+        plan_cache: Optional :class:`~repro.exec.PlanCache` shared by
+            every replica set (keys carry backend identity, so mixed
+            fleets stay safe).  Enables the zero-dispatch steady state
+            across shards.
     """
 
     def __init__(
@@ -542,6 +582,7 @@ class ShardedPirServer(PirServer):
         prf_name: str = "aes128",
         resident: bool = False,
         max_batch: int | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -564,6 +605,7 @@ class ShardedPirServer(PirServer):
                 retry=retry,
                 rejoin_after=rejoin_after,
                 probation_successes=probation_successes,
+                plan_cache=plan_cache,
             )
             for index, (lo, hi) in enumerate(ranges)
         ]
@@ -575,6 +617,7 @@ class ShardedPirServer(PirServer):
             prf_name=prf_name,
             resident=resident,
             max_batch=max_batch,
+            plan_cache=plan_cache,
         )
         self.registry = EpochRegistry(retain=retain_epochs)
         self._epoch_tables: dict[int, np.ndarray] = {0: self.table}

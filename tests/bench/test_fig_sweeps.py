@@ -1,0 +1,143 @@
+"""The fig_sweeps CLI: Figure 8/9 CSV emission from a bench artifact.
+
+Claims: eval-family rows become one CSV line each (grouped, batch-
+ordered) with measured, modeled, and modeled-pipelined QPS columns;
+non-eval families are skipped; resident-keys (``arena``) rows model no
+parse stage so their pipeline speedup is exactly 1; and the emitted
+header is the frozen ``CSV_COLUMNS`` schema CI checks against.
+"""
+
+import csv
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "scripts" / "fig_sweeps.py"
+
+
+@pytest.fixture(scope="module")
+def fig_sweeps():
+    spec = importlib.util.spec_from_file_location("fig_sweeps_cli", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["fig_sweeps_cli"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("fig_sweeps_cli", None)
+
+
+def _row(strategy, batch, ingest="wire", prf="aes128", log_domain=8, qps=100.0):
+    return {
+        "strategy": strategy,
+        "prf": prf,
+        "log_domain": log_domain,
+        "domain_size": 1 << log_domain,
+        "ingest": ingest,
+        "batch": batch,
+        "qps": qps,
+    }
+
+
+def _artifact(tmp_path, results):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"schema": 8, "results": results}))
+    return str(path)
+
+
+class TestSweepRows:
+    def test_non_eval_families_are_skipped(self, fig_sweeps):
+        rows = fig_sweeps.sweep_rows(
+            [
+                _row("level_by_level", 4),
+                _row("reference", 4),
+                _row("ingest", 4),
+                _row("pir_roundtrip", 4),
+                _row("serving", 4),
+            ]
+        )
+        assert [r["strategy"] for r in rows] == ["level_by_level"]
+
+    def test_groups_are_batch_ordered(self, fig_sweeps):
+        rows = fig_sweeps.sweep_rows(
+            [
+                _row("level_by_level", 16),
+                _row("branch_parallel", 4),
+                _row("level_by_level", 2),
+            ]
+        )
+        assert [(r["strategy"], r["batch"]) for r in rows] == [
+            ("branch_parallel", 4),
+            ("level_by_level", 2),
+            ("level_by_level", 16),
+        ]
+
+    def test_pipelining_never_slows_the_model(self, fig_sweeps):
+        rows = fig_sweeps.sweep_rows(
+            [_row("memory_bounded", 64, log_domain=14), _row("level_by_level", 8)]
+        )
+        for row in rows:
+            assert row["modeled_pipelined_qps"] >= row["modeled_qps"]
+            assert row["pipeline_speedup"] >= 1.0
+
+    def test_resident_keys_have_no_parse_stage_to_hide(self, fig_sweeps):
+        (row,) = fig_sweeps.sweep_rows([_row("memory_bounded", 8, ingest="arena")])
+        assert row["pipeline_speedup"] == 1.0
+        assert row["modeled_pipelined_qps"] == row["modeled_qps"]
+
+    def test_wire_ingest_models_a_real_parse_stage(self, fig_sweeps):
+        # A big batch on a small domain is parse-heavy enough that the
+        # sequential model is strictly slower than the pipelined one.
+        (row,) = fig_sweeps.sweep_rows(
+            [_row("memory_bounded", 256, ingest="wire", log_domain=6)]
+        )
+        assert row["modeled_pipelined_qps"] > row["modeled_qps"]
+
+
+class TestCli:
+    def test_writes_the_frozen_csv_schema(self, fig_sweeps, tmp_path, capsys):
+        artifact = _artifact(
+            tmp_path, [_row("level_by_level", 4), _row("reference", 4)]
+        )
+        out = tmp_path / "sweeps.csv"
+        assert fig_sweeps.main([artifact, "--out", str(out)]) == 0
+        with open(out, newline="") as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == list(fig_sweeps.CSV_COLUMNS)
+        assert len(parsed) == 2  # header + the one eval row
+        assert "wrote 1 sweep rows" in capsys.readouterr().out
+
+    def test_stdout_is_the_default_sink(self, fig_sweeps, tmp_path, capsys):
+        artifact = _artifact(tmp_path, [_row("branch_parallel", 2)])
+        assert fig_sweeps.main([artifact]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == ",".join(fig_sweeps.CSV_COLUMNS)
+        assert lines[1].startswith("aes128,branch_parallel,8,wire,2,")
+
+    def test_device_axis_changes_the_model_not_the_measurement(
+        self, fig_sweeps, tmp_path, capsys
+    ):
+        artifact = _artifact(tmp_path, [_row("level_by_level", 8)])
+        assert fig_sweeps.main([artifact, "--device", "V100"]) == 0
+        v100 = capsys.readouterr().out.strip().splitlines()[1].split(",")
+        assert fig_sweeps.main([artifact, "--device", "A100"]) == 0
+        a100 = capsys.readouterr().out.strip().splitlines()[1].split(",")
+        columns = list(fig_sweeps.CSV_COLUMNS)
+        assert v100[columns.index("measured_qps")] == a100[columns.index("measured_qps")]
+        assert v100[columns.index("modeled_qps")] != a100[columns.index("modeled_qps")]
+
+    def test_non_artifact_json_is_a_loud_usage_error(
+        self, fig_sweeps, tmp_path, capsys
+    ):
+        path = tmp_path / "not_bench.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        assert fig_sweeps.main([str(path)]) == 2
+        assert "no 'results'" in capsys.readouterr().err
+
+    def test_artifact_without_eval_rows_is_a_usage_error(
+        self, fig_sweeps, tmp_path, capsys
+    ):
+        artifact = _artifact(tmp_path, [_row("serving", 8), _row("reference", 1)])
+        assert fig_sweeps.main([artifact]) == 2
+        assert "no eval-family rows" in capsys.readouterr().err

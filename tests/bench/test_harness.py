@@ -179,6 +179,79 @@ class TestServingFamily:
         assert "load=512" in paced.describe() and "slo=8ms" in paced.describe()
 
 
+class TestSchema8Axes:
+    """The plan_cache / procs serving axes added by schema 8."""
+
+    def test_describe_carries_cache_and_procs(self):
+        warm = BenchCase(
+            "aes128", SERVING, 8, 10, slo_ms=8.0, shards=2, plan_cache=True, procs=2
+        )
+        assert "cache=on" in warm.describe()
+        assert "procs=2" in warm.describe()
+        cold = BenchCase("aes128", SERVING, 8, 10, slo_ms=8.0)
+        assert "cache=on" not in cold.describe()
+        assert "procs" not in cold.describe()
+
+    def test_default_grid_interleaves_plan_cache_twins(self):
+        import dataclasses
+
+        serving = [c for c in default_grid() if c.strategy == SERVING]
+        warm = [c for c in serving if c.plan_cache]
+        assert warm, "default grid lost its warm plan-cache rows"
+        for index, case in enumerate(serving):
+            if case.plan_cache:
+                # Each warm row sits right after its identical cold twin
+                # so the pair runs back to back in the same session.
+                assert dataclasses.replace(serving[index - 1], plan_cache=True) == case
+
+    def test_default_grid_backs_a_sharded_row_with_worker_pools(self):
+        serving = [c for c in default_grid() if c.strategy == SERVING]
+        pooled = [c for c in serving if c.procs]
+        assert pooled
+        assert all(c.shards > 0 for c in pooled)
+
+    def test_smoke_grid_covers_both_new_axes(self):
+        serving = [c for c in smoke_grid() if c.strategy == SERVING]
+        assert any(c.plan_cache for c in serving)
+        assert any(c.procs for c in serving)
+
+    def test_procs_without_shards_rejected(self):
+        case = BenchCase(
+            "siphash", SERVING, 4, 4, slo_ms=2.0, procs=2, repeats=1, warmup=0
+        )
+        with pytest.raises(ValueError, match="shard"):
+            run_case(case)
+
+    def test_negative_procs_rejected(self):
+        case = BenchCase(
+            "siphash", SERVING, 4, 4, slo_ms=2.0, shards=2, procs=-1, repeats=1,
+            warmup=0,
+        )
+        with pytest.raises(ValueError, match="procs"):
+            run_case(case)
+
+    def test_plan_cache_serving_case_reports_live_counters(self):
+        warm = run_case(
+            BenchCase(
+                "siphash", SERVING, 6, 5, ingest="wire", repeats=1, warmup=0,
+                slo_ms=2.0, plan_cache=True,
+            )
+        )
+        assert warm.verified
+        assert warm.plan_cache
+        assert warm.plan_cache_hits + warm.plan_cache_misses > 0
+        cold = run_case(
+            BenchCase(
+                "siphash", SERVING, 6, 5, ingest="wire", repeats=1, warmup=0,
+                slo_ms=2.0,
+            )
+        )
+        assert not cold.plan_cache
+        assert cold.plan_cache_hits == 0
+        assert cold.plan_cache_misses == 0
+        assert cold.overlap_flushes == 0
+
+
 class TestDescribe:
     def test_describe_carries_every_axis(self):
         case = BenchCase("aes128", PIR_ROUNDTRIP, 4, 10, ingest="wire")

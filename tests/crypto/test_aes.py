@@ -116,3 +116,41 @@ class TestAesPrf:
         prf = Aes128()
         with pytest.raises(ValueError):
             prf.expand(np.zeros((4, 8), dtype=np.uint8), 0)
+
+
+class TestThreadSafety:
+    def test_concurrent_encryption_is_bit_exact(self):
+        # The grow-on-demand scratch workspace is thread-local:
+        # overlapped serving runs each party's dispatch on its own
+        # executor thread, so two expansions encrypt concurrently in
+        # one process.  A shared workspace let those scribble over each
+        # other's round state (every answer of a two-party overlapped
+        # burst came back wrong); per-thread buffers must keep every
+        # concurrent call bit-exact.
+        import threading
+
+        rng = np.random.default_rng(0)
+        rks = expand_key(bytes(range(16)))
+        inputs = [
+            rng.integers(0, 256, size=(batch, 16), dtype=np.uint8)
+            for batch in (1, 7, 64, 256)
+        ]
+        expected = [aes128_encrypt_blocks(rks, blocks) for blocks in inputs]
+
+        failures = []
+        barrier = threading.Barrier(4)
+
+        def worker(index):
+            barrier.wait()  # maximize real overlap between threads
+            for _ in range(50):
+                got = aes128_encrypt_blocks(rks, inputs[index])
+                if not np.array_equal(got, expected[index]):
+                    failures.append(index)
+                    return
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, f"threads {failures} saw corrupted ciphertext"

@@ -232,3 +232,98 @@ class TestUnmerge:
             EvalRequest.unmerge(merged, (6, 0))
         with pytest.raises(ValueError, match="at least one"):
             EvalRequest.unmerge(merged, ())
+
+
+class TestBucketedPadding:
+    """Merge/unmerge composed with the plan cache's bucketing: every
+    demuxed answer must align exactly with its constituent request even
+    though the cache prices plans at the bucket size — through the
+    straight cached path, and through mid-batch replica failover (where
+    constituents re-run *individually*, each keyed to its own
+    bucket)."""
+
+    DOMAIN = 64
+
+    def _requests(self, sizes=(3, 2), prf="siphash"):
+        return [
+            EvalRequest(
+                keys=_keys(b, domain=self.DOMAIN, seed=b, prf=prf), prf_name=prf
+            )
+            for b in sizes
+        ]
+
+    def test_cached_merged_demux_matches_per_request_answers(self):
+        from repro.exec import PlanCache
+
+        backend = SingleGpuBackend()
+        requests = self._requests(sizes=(3, 2))
+        individual = [backend.run(r).answers for r in requests]
+        merged, sizes = EvalRequest.merge(requests)
+        # Merged batch 5 is keyed at bucket 8 inside the cache: the
+        # slices handed back per constituent must align exactly.
+        cache = PlanCache()
+        result = cache.run(backend, merged)
+        assert result.answers.shape[0] == 5
+        assert cache.stats.misses == 1
+        for got, want in zip(result.split(sizes), individual):
+            assert np.array_equal(got, want)
+
+    def test_unmerged_pieces_key_to_their_own_buckets(self):
+        from repro.exec import PlanCache, batch_bucket
+
+        backend = SingleGpuBackend()
+        requests = self._requests(sizes=(3, 2))
+        merged, sizes = EvalRequest.merge(requests)
+        cache = PlanCache()
+        for piece, original in zip(EvalRequest.unmerge(merged, sizes), requests):
+            got = cache.run(backend, piece).answers
+            assert got.shape[0] == piece.arena().batch
+            assert np.array_equal(got, backend.run(original).answers)
+        # Two distinct buckets (3 -> 4, 2 -> 2) were populated.
+        assert {batch_bucket(s) for s in sizes} == {4, 2}
+        assert cache.stats.misses == 2
+
+    def test_failover_mid_batch_keeps_demux_aligned(self):
+        """A fused, bucket-keyed batch served by a sharded server with
+        a replica that dies mid-batch: failover un-merges each
+        constituent into its own bucket entry, and every demuxed answer
+        still matches the healthy oracle bit for bit."""
+        from repro.crypto import get_prf as _get_prf
+        from repro.dpf import eval_full
+        from repro.exec import PlanCache
+        from repro.serve.chaos import FaultPlan, FlakyBackend
+        from repro.serve.shard import ShardedPirServer
+
+        rng = np.random.default_rng(17)
+        table = rng.integers(0, 2**63, size=self.DOMAIN, dtype=np.uint64)
+        prf = "chacha20"
+
+        def factory(shard, replica):
+            if shard == 0 and replica == 0:
+                return FlakyBackend(SingleGpuBackend(), FaultPlan.always())
+            return SingleGpuBackend()
+
+        server = ShardedPirServer(
+            table,
+            shards=2,
+            replicas=2,
+            backend_factory=factory,
+            prf_name=prf,
+            rejoin_after=None,
+            plan_cache=PlanCache(),
+        )
+        requests = self._requests(sizes=(3, 2), prf=prf)
+        merged, sizes = EvalRequest.merge(requests)
+        answers = server.answer_request(merged, epoch=0, sizes=sizes)
+        assert answers.shape == (5,)
+        assert server.stats_totals().failovers >= 1
+        prf_obj = _get_prf(prf)
+        offset = 0
+        for request in requests:
+            shares = np.stack(
+                [eval_full(k, prf_obj) for k in request.arena().to_keys()]
+            )
+            expected = shares @ table
+            got = answers[offset : offset + request.arena().batch]
+            assert np.array_equal(got, expected)
+            offset += request.arena().batch

@@ -1,0 +1,222 @@
+"""The plan/workspace cache: memoized steady-state dispatch.
+
+Claims: cached-path answers are bit-identical to uncached
+``backend.run`` for every batch size and eval range; plans are priced
+once at the pow2 bucket while the kernel executes the exact batch (no
+padding work on the execution path); the cache keys on everything that
+changes the plan (backend, PRF, domain, residency, entry width, batch
+bucket) and on nothing else; and LRU eviction is bounded by
+``max_entries``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import get_prf
+from repro.dpf import eval_full, gen
+from repro.exec import (
+    EvalRequest,
+    PlanCache,
+    SimulatedBackend,
+    SingleGpuBackend,
+    batch_bucket,
+)
+from repro.gpu import KeyArena
+
+PRF_NAME = "chacha20"
+DOMAIN = 200
+
+
+def _make_request(batch, domain=DOMAIN, seed=7, resident=False, entry_bytes=8):
+    prf = get_prf(PRF_NAME)
+    rng = np.random.default_rng(seed)
+    keys = []
+    for i in range(batch):
+        k0, k1 = gen(int(rng.integers(0, domain)), domain, prf, rng, beta=i + 1)
+        keys.append(k0 if i % 2 else k1)
+    request = EvalRequest(
+        keys=keys,
+        prf_name=PRF_NAME,
+        entry_bytes=entry_bytes,
+        resident=resident,
+    )
+    expected = np.stack([eval_full(k, prf) for k in keys])
+    return request, expected
+
+
+class TestBatchBucket:
+    @pytest.mark.parametrize(
+        "batch,bucket",
+        [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (8, 8), (9, 16), (1000, 1024)],
+    )
+    def test_rounds_up_to_pow2(self, batch, bucket):
+        assert batch_bucket(batch) == bucket
+
+    @pytest.mark.parametrize("batch", [0, -1])
+    def test_rejects_nonpositive(self, batch):
+        with pytest.raises(ValueError):
+            batch_bucket(batch)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("batch", [1, 2, 3, 5, 8, 13])
+    def test_cached_run_matches_uncached(self, batch):
+        request, expected = _make_request(batch)
+        backend = SingleGpuBackend()
+        cache = PlanCache()
+        result = cache.run(backend, request)
+        np.testing.assert_array_equal(result.answers, expected)
+        np.testing.assert_array_equal(result.answers, backend.run(request).answers)
+
+    def test_plan_priced_at_bucket_kernel_runs_exact(self):
+        # Batch 5 is keyed (and priced) at bucket 8, but the kernel
+        # must execute the exact 5-row request — padding is a pricing
+        # artifact, never executed work.
+        class Recording(SingleGpuBackend):
+            def __init__(self):
+                super().__init__()
+                self.planned = []
+                self.ran = []
+
+            def plan(self, request):
+                self.planned.append(request.arena().batch)
+                return super().plan(request)
+
+            def run_with_plan(self, request, plan, workspace=None):
+                self.ran.append((request.arena().batch, plan.stats.batch_size))
+                return super().run_with_plan(request, plan, workspace)
+
+        backend = Recording()
+        cache = PlanCache()
+        request, expected = _make_request(5)
+        result = cache.run(backend, request)
+        assert backend.planned == [8]
+        assert backend.ran == [(5, 8)]
+        assert result.answers.shape[0] == 5
+        assert result.plan.stats.batch_size == 8
+        np.testing.assert_array_equal(result.answers, expected)
+        # A second size in the same bucket reuses the plan unchanged
+        # and still runs at its own exact batch.
+        second, second_expected = _make_request(7, seed=9)
+        got = cache.run(backend, second)
+        assert backend.planned == [8]
+        assert backend.ran == [(5, 8), (7, 8)]
+        np.testing.assert_array_equal(got.answers, second_expected)
+
+    def test_eval_range_restriction_survives_the_cache(self):
+        request, expected = _make_request(6)
+        restricted = request.restrict(50, 150)
+        result = PlanCache().run(SingleGpuBackend(), restricted)
+        assert result.answers.shape == (6, 100)
+        np.testing.assert_array_equal(result.answers, expected[:, 50:150])
+
+    def test_resident_mode_matches(self):
+        request, expected = _make_request(5, resident=True)
+        result = PlanCache().run(SingleGpuBackend(), request)
+        np.testing.assert_array_equal(result.answers, expected)
+
+    def test_repeated_hits_stay_bit_exact(self):
+        cache = PlanCache()
+        backend = SingleGpuBackend()
+        for seed in (1, 2, 3):
+            request, expected = _make_request(5, seed=seed)
+            np.testing.assert_array_equal(cache.run(backend, request).answers, expected)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+
+class TestCacheKey:
+    def test_same_bucket_shares_an_entry(self):
+        cache = PlanCache()
+        backend = SingleGpuBackend()
+        cache.run(backend, _make_request(5)[0])   # bucket 8 — miss
+        cache.run(backend, _make_request(7, seed=9)[0])  # bucket 8 — hit
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_different_bucket_is_a_new_entry(self):
+        cache = PlanCache()
+        backend = SingleGpuBackend()
+        cache.run(backend, _make_request(5)[0])  # bucket 8
+        cache.run(backend, _make_request(9)[0])  # bucket 16
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_residency_splits_the_key(self):
+        backend = SingleGpuBackend()
+        request, _ = _make_request(5)
+        resident, _ = _make_request(5, resident=True)
+        cache = PlanCache()
+        cache.run(backend, request)
+        cache.run(backend, resident)
+        assert cache.stats.misses == 2
+
+    def test_entry_bytes_splits_the_key(self):
+        backend = SingleGpuBackend()
+        cache = PlanCache()
+        cache.run(backend, _make_request(5, entry_bytes=8)[0])
+        cache.run(backend, _make_request(5, entry_bytes=32)[0])
+        assert cache.stats.misses == 2
+
+    def test_distinct_backend_instances_never_share(self):
+        # Two wrapped/unknown backends must not collide even if they
+        # model the same device: the base plan_key is per-instance.
+        request, _ = _make_request(5)
+        cache = PlanCache()
+        cache.run(SimulatedBackend(), request)
+        cache.run(SimulatedBackend(), request)
+        # SimulatedBackend keys on the modeled device, so these *do*
+        # share; SingleGpuBackend with a private pool must not.
+        assert cache.stats.hits == 1
+        from repro.gpu import get_strategy
+
+        a = SingleGpuBackend(strategies=[get_strategy("level_by_level")])
+        b = SingleGpuBackend(strategies=[get_strategy("level_by_level")])
+        cache2 = PlanCache()
+        cache2.run(a, request)
+        cache2.run(b, request)
+        assert cache2.stats.misses == 2
+
+
+class TestEviction:
+    def test_lru_bounded_by_max_entries(self):
+        cache = PlanCache(max_entries=2)
+        backend = SingleGpuBackend()
+        r4, _ = _make_request(4)
+        r8, _ = _make_request(8)
+        r16, _ = _make_request(16)
+        cache.run(backend, r4)
+        cache.run(backend, r8)
+        cache.run(backend, r4)   # refresh bucket-4 entry
+        cache.run(backend, r16)  # evicts bucket 8 (LRU)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.run(backend, r4)   # still cached
+        assert cache.stats.hits == 2
+        cache.run(backend, r8)   # was evicted — a fresh miss
+        assert cache.stats.misses == 4
+
+    def test_clear_resets_entries_but_not_stats(self):
+        cache = PlanCache()
+        cache.run(SingleGpuBackend(), _make_request(4)[0])
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = PlanCache()
+        backend = SingleGpuBackend()
+        request, _ = _make_request(4)
+        assert cache.stats.hit_rate == 0.0
+        cache.run(backend, request)
+        cache.run(backend, request)
+        cache.run(backend, request)
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)

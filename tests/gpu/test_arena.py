@@ -132,6 +132,58 @@ class TestWireEquivalence:
         with pytest.raises(ValueError, match="same domain"):
             KeyArena.from_keys(keys + _make_keys(batch=1, domain=64, seed=2))
 
+    def test_to_wire_equals_pack_keys(self):
+        keys = _make_keys()
+        arena = KeyArena.from_keys(keys)
+        assert arena.to_wire() == pack_keys(keys)
+        _assert_arena_equal(KeyArena.from_wire(arena.to_wire()), arena)
+
+    @given(case=dpf_cases(prfs=fast_prf_names), batch=batch_sizes)
+    @STANDARD_SETTINGS
+    def test_property_to_wire_round_trips(self, case, batch):
+        (k0, k1), _ = case.keys()
+        keys = [k0 if i % 2 else k1 for i in range(batch)]
+        arena = KeyArena.from_keys(keys)
+        assert arena.to_wire() == pack_keys(keys)
+        assert KeyArena.from_wire(arena.to_wire()) == arena
+
+    def test_to_wire_of_a_slice_carries_only_the_slice(self):
+        keys = _make_keys()
+        arena = KeyArena.from_keys(keys)
+        assert arena[2:5].to_wire() == pack_keys(keys[2:5])
+
+
+class TestPadding:
+    def test_pad_to_repeats_the_last_row(self):
+        keys = _make_keys(batch=5)
+        arena = KeyArena.from_keys(keys)
+        padded = arena.pad_to(8)
+        assert padded.batch == 8
+        _assert_arena_equal(padded[0:5], arena)
+        for row in range(5, 8):
+            _assert_arena_equal(padded[row : row + 1], arena[4:5])
+
+    def test_pad_to_same_size_is_identity(self):
+        arena = KeyArena.from_keys(_make_keys(batch=4))
+        assert arena.pad_to(4) is arena
+
+    def test_pad_to_rejects_shrinking(self):
+        arena = KeyArena.from_keys(_make_keys(batch=4))
+        with pytest.raises(ValueError, match="cannot pad"):
+            arena.pad_to(3)
+
+    def test_padded_rows_are_valid_keys(self):
+        # Every padded row is a *copy of a real key*, so a padded arena
+        # round-trips the wire format and evaluates like the repeated
+        # key — the property the plan cache's pad-and-slice rests on.
+        keys = _make_keys(batch=3)
+        padded = KeyArena.from_keys(keys).pad_to(4)
+        assert KeyArena.from_wire(padded.to_wire()) == padded
+        expected = np.stack([eval_full(k, PRF) for k in keys + [keys[-1]]])
+        strategy = get_strategy(ALL_STRATEGIES[0])
+        got = strategy.eval_batch(padded, PRF)
+        assert np.array_equal(got, expected)
+
 
 class TestSlicing:
     def test_slices_are_views(self):

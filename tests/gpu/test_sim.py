@@ -133,6 +133,71 @@ class TestSchedulerSelection:
         with pytest.raises(ValueError):
             select_strategy(16, 0)
 
+    def test_residency_never_shares_a_memoized_selection(self):
+        # Regression: the memo key must carry residency — a resident
+        # request served a streaming selection (or vice versa) would
+        # misprice every batch at that shape for the session.
+        scheduler = Scheduler(V100)
+        for batch, table in ((64, 1 << 16), (512, MILLION)):
+            streaming = scheduler.select(batch, table)
+            resident = scheduler.select(batch, table, resident_keys=True)
+            assert streaming is not resident
+            assert streaming.plan.host_bytes_in > 0
+            assert resident.plan.host_bytes_in == 0
+
+    def test_entry_bytes_never_shares_a_memoized_selection(self):
+        # Regression: entry_bytes is an instance attribute, but the
+        # memo key carries it so a caller mutating it between decisions
+        # can never be served a stale selection priced for the old
+        # entry width.
+        scheduler = Scheduler(V100, entry_bytes=8)
+        narrow = scheduler.select(512, MILLION)
+        scheduler.entry_bytes = 256
+        wide = scheduler.select(512, MILLION)
+        assert narrow is not wide
+        assert wide.stats.latency_s > narrow.stats.latency_s
+
+
+class TestHostParseOverlap:
+    """The double-buffered ingest model: parse N+1 under kernel N."""
+
+    def _plans(self):
+        streaming = select_strategy(512, MILLION, device=V100).plan
+        resident = select_strategy(
+            512, MILLION, device=V100, resident_keys=True
+        ).plan
+        return streaming, resident
+
+    def test_host_parse_time_scales_with_wire_bytes(self):
+        sim = GpuSimulator(V100)
+        streaming, resident = self._plans()
+        assert sim.host_parse_s(streaming) == pytest.approx(
+            streaming.host_bytes_in / 2.0e9
+        )
+        # Resident plans ship no key bytes per batch: nothing to parse.
+        assert sim.host_parse_s(resident) == 0.0
+
+    def test_pipelined_latency_is_max_not_sum(self):
+        sim = GpuSimulator(V100)
+        streaming, _ = self._plans()
+        kernel = sim.simulate(streaming).latency_s
+        parse = sim.host_parse_s(streaming)
+        assert parse > 0.0
+        assert sim.pipelined_latency_s(streaming, overlap=True) == pytest.approx(
+            max(kernel, parse)
+        )
+        assert sim.pipelined_latency_s(streaming, overlap=False) == pytest.approx(
+            kernel + parse
+        )
+
+    def test_overlap_never_slower(self):
+        sim = GpuSimulator(V100)
+        for batch in (32, 256, 2048):
+            plan = select_strategy(batch, MILLION, device=V100).plan
+            assert sim.pipelined_latency_s(plan, overlap=True) <= sim.pipelined_latency_s(
+                plan, overlap=False
+            )
+
 
 class TestMultiGpu:
     def test_two_identical_gpus_double_throughput(self):

@@ -1,0 +1,217 @@
+"""Double-buffered ingest: parse batch N+1 while batch N expands.
+
+Claims: with ``overlap=True`` the serving loop dispatches each fused
+batch on a dedicated thread while the event loop keeps admitting and
+parsing the next batch's queries, and every reply stays bit-identical
+to the sequential path (exactly one dispatch is ever in flight);
+``overlap_flushes`` counts only flushes that actually hid ingest work;
+and the plan-cache counters are mirrored into :class:`ServingStats`
+after every flush.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.crypto import get_prf
+from repro.dpf import gen, pack_keys
+from repro.exec import PlanCache, SingleGpuBackend
+from repro.pir.server import PirServer
+from repro.pir.wire import PirQuery, PirReply
+from repro.serve.loop import AsyncPirServer, SloConfig
+
+PRF_NAME = "chacha20"
+DOMAIN = 256
+
+
+def _make_queries(count, per_query=3, seed=0):
+    prf = get_prf(PRF_NAME)
+    rng = np.random.default_rng(seed)
+    queries = []
+    for request_id in range(1, count + 1):
+        keys = [
+            gen(int(rng.integers(0, DOMAIN)), DOMAIN, prf, rng)[0]
+            for _ in range(per_query)
+        ]
+        queries.append(
+            PirQuery(
+                request_id=request_id, count=per_query, key_bytes=pack_keys(keys)
+            ).to_bytes()
+        )
+    return queries
+
+
+def _table(seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**63, size=DOMAIN, dtype=np.uint64)
+
+
+def _drive(table, queries, overlap, plan_cache=None, stagger_s=0.0):
+    async def main():
+        server = PirServer(
+            table,
+            backend=SingleGpuBackend(),
+            prf_name=PRF_NAME,
+            plan_cache=plan_cache,
+        )
+        loop_server = AsyncPirServer(
+            server,
+            slo=SloConfig(max_batch=4, max_wait_s=0.005),
+            overlap=overlap,
+        )
+        async with loop_server:
+            tasks = []
+            for query in queries:
+                tasks.append(asyncio.create_task(loop_server.submit(query)))
+                if stagger_s:
+                    await asyncio.sleep(stagger_s)
+            replies = await asyncio.gather(*tasks)
+        return replies, loop_server.stats
+
+    return asyncio.run(main())
+
+
+class TestBitIdentity:
+    def test_overlap_replies_equal_sequential_replies(self):
+        table = _table()
+        queries = _make_queries(10)
+        sequential, _ = _drive(table, queries, overlap=False)
+        overlapped, _ = _drive(table, queries, overlap=True)
+        seq_answers = [PirReply.from_bytes(r).answers.tolist() for r in sequential]
+        ovl_answers = [PirReply.from_bytes(r).answers.tolist() for r in overlapped]
+        assert seq_answers == ovl_answers
+
+    def test_overlap_replies_equal_synchronous_handle(self):
+        table = _table()
+        queries = _make_queries(6, seed=3)
+        oracle = PirServer(table, prf_name=PRF_NAME)
+        replies, _ = _drive(table, queries, overlap=True)
+        for query, reply in zip(queries, replies):
+            assert reply == oracle.handle(query)
+
+
+class TestTwoPartyConcurrency:
+    def test_both_parties_overlapped_stay_bit_exact(self):
+        # Two AsyncPirServers in one process — the two-server protocol's
+        # normal bench/smoke shape — each dispatch on its own executor
+        # thread, so expansions run genuinely concurrently.  This is the
+        # regression shape for the AES scratch-workspace race: with a
+        # module-global workspace every answer of an aes128 burst came
+        # back corrupted; the thread-local workspace must keep each
+        # party's replies equal to a synchronous oracle.
+        from repro.serve import generate_load
+        from repro.pir import PirClient
+
+        domain = 1024
+        rng = np.random.default_rng(11)
+        table = rng.integers(0, 1 << 64, size=domain, dtype=np.uint64)
+        indices = rng.integers(0, domain, size=32).tolist()
+        client = PirClient(domain, "aes128", rng=np.random.default_rng(13))
+
+        async def main():
+            loops = [
+                AsyncPirServer(
+                    PirServer(
+                        table,
+                        backend=SingleGpuBackend(),
+                        prf_name="aes128",
+                        plan_cache=PlanCache(),
+                    ),
+                    slo=SloConfig(max_batch=16, max_wait_s=0.001),
+                    overlap=True,
+                )
+                for _ in range(2)
+            ]
+            async with loops[0], loops[1]:
+                return await generate_load(client, loops, indices)
+
+        report = asyncio.run(main())
+        assert report.shed == 0 and report.failed == 0
+        assert np.array_equal(report.answers, table[np.array(report.indices)])
+
+
+class TestOverlapCounter:
+    def test_streaming_arrivals_count_overlap_flushes(self):
+        # Staggered submissions land while earlier batches run on the
+        # dispatch thread — some flushes must observe new ingest work.
+        replies, stats = _drive(
+            _table(), _make_queries(20, seed=5), overlap=True, stagger_s=0.001
+        )
+        assert len(replies) == 20
+        assert stats.overlap_flushes > 0
+        assert stats.overlap_flushes <= stats.batches
+
+    def test_sequential_mode_never_counts_overlap(self):
+        _, stats = _drive(
+            _table(), _make_queries(8, seed=6), overlap=False, stagger_s=0.001
+        )
+        assert stats.overlap_flushes == 0
+
+
+class TestPlanCacheMirroring:
+    def test_stats_mirror_the_caches_counters(self):
+        cache = PlanCache()
+        _, stats = _drive(
+            _table(), _make_queries(10, seed=7), overlap=True, plan_cache=cache
+        )
+        assert stats.plan_cache_misses == cache.stats.misses
+        assert stats.plan_cache_hits == cache.stats.hits
+        assert cache.stats.lookups == stats.batches
+        # Steady state: every batch after the first warm one hits.
+        assert stats.plan_cache_hits > 0
+
+    def test_no_cache_leaves_counters_zero(self):
+        _, stats = _drive(_table(), _make_queries(6, seed=8), overlap=True)
+        assert stats.plan_cache_hits == 0
+        assert stats.plan_cache_misses == 0
+
+
+class TestExecutorLifecycle:
+    def test_executor_exists_only_while_running(self):
+        async def main():
+            server = PirServer(_table(), prf_name=PRF_NAME)
+            loop_server = AsyncPirServer(server, overlap=True)
+            assert loop_server._executor is None
+            await loop_server.start()
+            assert loop_server._executor is not None
+            await loop_server.stop()
+            assert loop_server._executor is None
+
+        asyncio.run(main())
+
+    def test_sequential_mode_never_builds_an_executor(self):
+        async def main():
+            server = PirServer(_table(), prf_name=PRF_NAME)
+            loop_server = AsyncPirServer(server, overlap=False)
+            await loop_server.start()
+            assert loop_server._executor is None
+            await loop_server.stop()
+
+        asyncio.run(main())
+
+    def test_both_parties_share_one_dispatch_thread(self):
+        # Two overlapped loops on one event loop must dispatch through
+        # the same single-thread executor: expansions serialize instead
+        # of running concurrently (kernel/kernel concurrency is not
+        # what double-buffering means, and on a core-starved host it
+        # loses throughput to GIL convoying).  The executor dies with
+        # its last holder.
+        async def main():
+            loops = [
+                AsyncPirServer(
+                    PirServer(_table(), prf_name=PRF_NAME), overlap=True
+                )
+                for _ in range(2)
+            ]
+            await loops[0].start()
+            await loops[1].start()
+            assert loops[0]._executor is loops[1]._executor
+            executor = loops[0]._executor
+            await loops[0].stop()
+            # Still alive for the surviving holder.
+            assert not executor._shutdown
+            await loops[1].stop()
+            assert executor._shutdown
+
+        asyncio.run(main())
