@@ -32,7 +32,13 @@ from repro.bench import (  # noqa: E402  (path bootstrap above)
     smoke_grid,
     write_results,
 )
-from repro.bench.harness import INGEST, PIR_ROUNDTRIP, REFERENCE, SERVING  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    BACKEND_SELECT,
+    INGEST,
+    PIR_ROUNDTRIP,
+    REFERENCE,
+    SERVING,
+)
 from repro.crypto import available_prfs  # noqa: E402
 from repro.gpu import available_strategies  # noqa: E402
 
@@ -47,7 +53,14 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--strategies",
         nargs="+",
-        choices=[REFERENCE, INGEST, PIR_ROUNDTRIP, SERVING, *available_strategies()],
+        choices=[
+            REFERENCE,
+            INGEST,
+            PIR_ROUNDTRIP,
+            SERVING,
+            BACKEND_SELECT,
+            *available_strategies(),
+        ],
         help="restrict the strategy axis",
     )
     parser.add_argument("--batches", nargs="+", type=int, help="batch sizes")
@@ -112,7 +125,8 @@ def main(argv: list[str] | None = None) -> int:
         for case in cases:
             family = (
                 case.strategy
-                if case.strategy in (REFERENCE, INGEST, PIR_ROUNDTRIP, SERVING)
+                if case.strategy
+                in (REFERENCE, INGEST, PIR_ROUNDTRIP, SERVING, BACKEND_SELECT)
                 else "eval"
             )
             families[family] = families.get(family, 0) + 1
@@ -158,6 +172,8 @@ def main(argv: list[str] | None = None) -> int:
                 )
             if r.procs:
                 line += f" procs={r.procs}"
+        if r.strategy == BACKEND_SELECT:
+            line += f"  backend={r.backend} (modeled)"
         print(line)
     return 0
 

@@ -1,24 +1,42 @@
 #!/usr/bin/env python
-"""Figure 8/9 batch-size sweeps as CSV, from a BENCH_dpf.json run.
+"""Figure/table sweeps as CSV, from a BENCH_dpf.json run.
 
-The paper's Figures 8 and 9 plot expansion throughput against batch
-size, per traversal strategy and table size.  This script re-derives
-those sweeps from a bench-harness artifact so the harness stays the
-single source of numbers: every *measured* point comes from the JSON,
-and each point is paired with the analytic model's prediction for the
-same shape (`GpuSimulator.simulate`) plus the steady-state pipelined
-prediction (`GpuSimulator.pipelined_latency_s`, the double-buffered
-ingest path the serving loop runs with ``overlap=True``).
+The paper's throughput figures are different pivots of the same
+measurement grid.  This script re-derives each from a bench-harness
+artifact so the harness stays the single source of numbers: every
+*measured* point comes from the JSON, and each point is paired with
+the analytic model's prediction for the same shape
+(`GpuSimulator.simulate`) plus, for the batch/table sweeps, the
+steady-state pipelined prediction (`GpuSimulator.pipelined_latency_s`,
+the double-buffered ingest path the serving loop runs with
+``overlap=True``).  ``--sweep`` picks the pivot:
 
-Rows are the eval-family results (the four GGM traversal strategies;
-reference / ingest / pir_roundtrip / serving families carry no kernel
-plan and are skipped), grouped by ``(prf, strategy, log_domain,
-ingest)`` and ordered by batch within each group — one CSV line per
-measured point, ready to pivot into either figure:
+* ``batch`` (default) — Figures 8/9: throughput vs batch size, one
+  group per ``(prf, strategy, log_domain, ingest)``, batch-ordered:
 
-    prf,strategy,log_domain,ingest,batch,measured_qps,modeled_qps,
-    modeled_pipelined_qps,pipeline_speedup
+      prf,strategy,log_domain,ingest,batch,measured_qps,modeled_qps,
+      modeled_pipelined_qps,pipeline_speedup
 
+* ``table`` — Figures 13/14: throughput vs table size, the same
+  measured points re-grouped by ``(prf, strategy, batch, ingest)``
+  and ordered by ``log_domain`` within each group:
+
+      prf,strategy,batch,ingest,log_domain,measured_qps,modeled_qps,
+      modeled_pipelined_qps,pipeline_speedup
+
+* ``prf`` — Table 5: the per-PRF comparison.  One row per
+  ``(prf, log_domain, batch)`` taking the best-measured eval
+  strategy, priced against the AES-NI-aware CPU baseline
+  (``repro.baselines.CpuCostModel``), with ``gpu_vs_cpu`` the modeled
+  GPU-over-CPU speedup at that shape — the per-PRF acceleration
+  story (hardware AES on both sides vs GPU-only ChaCha20 wins):
+
+      prf,log_domain,batch,strategy,measured_qps,modeled_qps,
+      cpu_modeled_qps,gpu_vs_cpu
+
+In every sweep, rows are the eval-family results (the GGM traversal
+strategies; reference / ingest / pir_roundtrip / serving /
+backend_select families carry no kernel plan and are skipped).
 ``modeled_qps`` prices kernel + host parse sequentially
 (``overlap=False``); ``modeled_pipelined_qps`` overlaps them
 (``overlap=False`` vs ``True`` of the same two-stage pipeline), so
@@ -30,6 +48,8 @@ Usage:
     PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json
     PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json --out sweeps.csv
     PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json --device A100
+    PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json --sweep table
+    PYTHONPATH=src python scripts/fig_sweeps.py BENCH_dpf.json --sweep prf
 """
 
 from __future__ import annotations
@@ -42,11 +62,13 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.baselines import CpuCostModel  # noqa: E402
 from repro.gpu import available_strategies, get_strategy  # noqa: E402
 from repro.gpu.device import A100, V100  # noqa: E402
 from repro.gpu.sim import GpuSimulator  # noqa: E402
 
-#: Emitted header, in order.  CI checks this exact schema.
+#: Emitted header for ``--sweep batch``, in order.  CI checks this
+#: exact schema.
 CSV_COLUMNS = (
     "prf",
     "strategy",
@@ -57,6 +79,31 @@ CSV_COLUMNS = (
     "modeled_qps",
     "modeled_pipelined_qps",
     "pipeline_speedup",
+)
+
+#: Emitted header for ``--sweep table`` (Figures 13/14), in order.
+TABLE_CSV_COLUMNS = (
+    "prf",
+    "strategy",
+    "batch",
+    "ingest",
+    "log_domain",
+    "measured_qps",
+    "modeled_qps",
+    "modeled_pipelined_qps",
+    "pipeline_speedup",
+)
+
+#: Emitted header for ``--sweep prf`` (Table 5), in order.
+PRF_CSV_COLUMNS = (
+    "prf",
+    "log_domain",
+    "batch",
+    "strategy",
+    "measured_qps",
+    "modeled_qps",
+    "cpu_modeled_qps",
+    "gpu_vs_cpu",
 )
 
 DEVICES = {"V100": V100, "A100": A100}
@@ -100,6 +147,67 @@ def sweep_rows(results: list[dict], device_name: str = "V100") -> list[dict]:
     return out
 
 
+def table_sweep_rows(results: list[dict], device_name: str = "V100") -> list[dict]:
+    """Figure 13/14 pivot: the same measured points, table-size-ordered.
+
+    The pricing is identical to :func:`sweep_rows`; only the grouping
+    changes — ``(prf, strategy, batch, ingest)`` groups ordered by
+    ``log_domain``, so each group is one throughput-vs-table-size line.
+    """
+    rows = sweep_rows(results, device_name=device_name)
+    rows.sort(
+        key=lambda r: (r["prf"], r["strategy"], r["batch"], r["ingest"], r["log_domain"])
+    )
+    return [{column: row[column] for column in TABLE_CSV_COLUMNS} for row in rows]
+
+
+def prf_sweep_rows(results: list[dict], device_name: str = "V100") -> list[dict]:
+    """Table 5 pivot: best-measured eval strategy per (prf, shape),
+    priced against the AES-NI-aware CPU baseline."""
+    sim = GpuSimulator(DEVICES[device_name])
+    cpu = CpuCostModel(entry_bytes=ENTRY_BYTES)
+    strategies = set(available_strategies())
+    best: dict[tuple, dict] = {}
+    for row in results:
+        if row["strategy"] not in strategies:
+            continue
+        shape = (row["prf"], row["log_domain"], row["batch"])
+        if shape not in best or row["qps"] > best[shape]["qps"]:
+            best[shape] = row
+    out = []
+    for shape in sorted(best):
+        row = best[shape]
+        plan = get_strategy(row["strategy"]).plan(
+            row["batch"],
+            row["domain_size"],
+            entry_bytes=ENTRY_BYTES,
+            prf_name=row["prf"],
+            resident_keys=row["ingest"] == "arena",
+        )
+        gpu_s = sim.pipelined_latency_s(plan, overlap=False)
+        cpu_s = cpu.latency_s(row["batch"], row["domain_size"], row["prf"])
+        out.append(
+            {
+                "prf": row["prf"],
+                "log_domain": row["log_domain"],
+                "batch": row["batch"],
+                "strategy": row["strategy"],
+                "measured_qps": round(row["qps"], 2),
+                "modeled_qps": round(row["batch"] / gpu_s, 2),
+                "cpu_modeled_qps": round(row["batch"] / cpu_s, 2),
+                "gpu_vs_cpu": round(cpu_s / gpu_s, 3),
+            }
+        )
+    return out
+
+
+SWEEPS = {
+    "batch": (sweep_rows, CSV_COLUMNS),
+    "table": (table_sweep_rows, TABLE_CSV_COLUMNS),
+    "prf": (prf_sweep_rows, PRF_CSV_COLUMNS),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_json", help="BENCH_dpf.json-format input")
@@ -112,6 +220,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(DEVICES),
         help="device spec the model prices plans on",
     )
+    parser.add_argument(
+        "--sweep",
+        default="batch",
+        choices=sorted(SWEEPS),
+        help="pivot to emit: batch (Fig 8/9), table (Fig 13/14), prf (Table 5)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.bench_json) as handle:
@@ -119,14 +233,15 @@ def main(argv: list[str] | None = None) -> int:
     if "results" not in payload:
         print(f"{args.bench_json}: not a bench artifact (no 'results')", file=sys.stderr)
         return 2
-    rows = sweep_rows(payload["results"], device_name=args.device)
+    rows_fn, columns = SWEEPS[args.sweep]
+    rows = rows_fn(payload["results"], device_name=args.device)
     if not rows:
         print(f"{args.bench_json}: no eval-family rows to sweep", file=sys.stderr)
         return 2
 
     handle = sys.stdout if args.out == "-" else open(args.out, "w", newline="")
     try:
-        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+        writer = csv.DictWriter(handle, fieldnames=columns)
         writer.writeheader()
         writer.writerows(rows)
     finally:

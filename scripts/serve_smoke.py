@@ -37,6 +37,17 @@ plan/workspace pair was reused across flushes) and
 ``overlap_flushes > 0`` (at least one flush hid ingest work) — on top
 of the usual bit-exactness checks.
 
+With ``--hybrid`` the session exercises hybrid CPU/GPU execution end
+to end, in two parts.  First, both parties serve through a
+:class:`repro.exec.HybridBackend` (AES-NI CPU baseline + V100 model)
+across one session fusing batches *below* the shape's modeled
+crossover and one fusing batches *at or above* it, asserting every
+answer is bit-exact and the routing counters are nonzero on **both**
+sides — the cost model demonstrably moved real traffic across the
+crossover.  Second, a mixed CPU+GPU :class:`repro.serve.FleetScheduler`
+session asserts both the GPU member and the CPU member actually served
+fused batches (virtual-clock spillover), still bit-exact.
+
 Exit status is the assertion outcome, so this is runnable as a bare CI
 step with only numpy installed:
 
@@ -45,6 +56,7 @@ step with only numpy installed:
     PYTHONPATH=src python scripts/serve_smoke.py --shards 3
     PYTHONPATH=src python scripts/serve_smoke.py --shards 3 --chaos
     PYTHONPATH=src python scripts/serve_smoke.py --steady
+    PYTHONPATH=src python scripts/serve_smoke.py --hybrid
 """
 
 from __future__ import annotations
@@ -57,7 +69,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.exec import PlanCache, SingleGpuBackend  # noqa: E402
+from repro.baselines import CpuBackend  # noqa: E402
+from repro.exec import HybridBackend, PlanCache, SingleGpuBackend  # noqa: E402
 from repro.gpu.device import A100, V100  # noqa: E402
 from repro.pir import PirClient, PirServer  # noqa: E402
 from repro.serve import (  # noqa: E402
@@ -238,7 +251,139 @@ def run_steady() -> int:
     return 0
 
 
-def main(chaos: bool = False, shards: int = 0, steady: bool = False) -> int:
+def run_hybrid() -> int:
+    """The hybrid-routing session: real traffic on both crossover sides.
+
+    aes128 at a 1024-entry table puts the modeled CPU/GPU crossover
+    inside serveable batch sizes, so a session fusing small batches
+    must route CPU-side and a burst fusing the full batch must route
+    GPU-side — the counters prove the cost model moved the traffic.
+    """
+    entries = 1 << 10
+    prf = "aes128"
+    rng = np.random.default_rng(2024)
+    table = rng.integers(0, 1 << 64, size=entries, dtype=np.uint64)
+    hybrids = [
+        HybridBackend([CpuBackend(), SingleGpuBackend(V100)]) for _ in range(2)
+    ]
+    crossover = hybrids[0].crossover_bucket(entries, prf)
+    assert crossover is not None and 2 < crossover <= 64, (
+        f"aes128 @ 2^10 crossover bucket {crossover} left the serveable "
+        "range — the calibration moved; pick a shape with both sides"
+    )
+
+    for label, clients, max_batch in (
+        ("below-crossover", 6, 2),
+        ("above-crossover", 64, 64),
+    ):
+        indices = rng.integers(0, entries, size=clients).tolist()
+        client = PirClient(entries, prf, rng=np.random.default_rng(7))
+
+        async def session():
+            loops = [
+                AsyncPirServer(
+                    PirServer(table, backend=hybrid, prf_name=prf),
+                    slo=SloConfig(max_batch=max_batch, max_wait_s=20e-3),
+                    retry=RetryPolicy(max_attempts=3),
+                )
+                for hybrid in hybrids
+            ]
+            async with loops[0], loops[1]:
+                report = await generate_load(client, loops, indices)
+            return report, loops
+
+        report, loops = asyncio.run(session())
+        assert report.shed == 0, f"{label}: shed {report.shed} queries"
+        assert report.answered == clients, (
+            f"{label}: answered {report.answered} of {clients}"
+        )
+        assert np.array_equal(report.answers, table[np.array(report.indices)]), (
+            f"{label}: hybrid answers diverged from the table — routing "
+            "changed the computation, not just its cost"
+        )
+        for party, loop in enumerate(loops):
+            assert loop.stats.failed == 0, (
+                f"{label}: party {party} failed {loop.stats.failed} queries"
+            )
+        print(
+            f"{label}: {report.answered} answers bit-exact "
+            f"(fused up to {max(l.stats.largest_batch for l in loops)}), "
+            f"p99={report.p99_ms:.2f}ms"
+        )
+
+    counts = {
+        side: sum(h.class_counts().get(side, 0) for h in hybrids)
+        for side in ("cpu", "gpu")
+    }
+    routes = {}
+    for hybrid in hybrids:
+        for name, count in hybrid.routing_counts().items():
+            routes[name] = routes.get(name, 0) + count
+    assert counts["cpu"] > 0, (
+        f"no batch routed to the CPU side below the crossover: {routes}"
+    )
+    assert counts["gpu"] > 0, (
+        f"no batch routed to the GPU side at the crossover: {routes}"
+    )
+    print(
+        f"hybrid routing ok: crossover bucket {crossover}, "
+        f"class_counts={counts}, routes={routes}"
+    )
+
+    # Part two: the CPU baseline as a *fleet member* — virtual clocks
+    # spill fused batches onto it alongside the GPU, answers bit-exact.
+    indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
+    small_table = table[:TABLE_ENTRIES]
+    client = PirClient(TABLE_ENTRIES, prf, rng=np.random.default_rng(9))
+
+    async def fleet_session():
+        loops = [
+            AsyncPirServer(
+                PirServer(small_table, prf_name=prf),
+                slo=SloConfig(max_batch=2, max_wait_s=5e-3),
+                fleet=FleetScheduler([SingleGpuBackend(V100), CpuBackend()]),
+                retry=RetryPolicy(max_attempts=3),
+            )
+            for _ in range(2)
+        ]
+        async with loops[0], loops[1]:
+            report = await generate_load(client, loops, indices)
+        return report, loops
+
+    report, loops = asyncio.run(fleet_session())
+    assert report.shed == 0 and report.answered == CLIENTS
+    assert np.array_equal(
+        report.answers, small_table[np.array(report.indices)]
+    ), "mixed-fleet answers diverged from the table"
+    fleet_routes: dict[str, int] = {}
+    for loop in loops:
+        for name, count in loop.stats.routes.items():
+            fleet_routes[name] = fleet_routes.get(name, 0) + count
+    assert any("V100" in name for name in fleet_routes), (
+        f"the GPU fleet member never served: {fleet_routes}"
+    )
+    assert any("xeon" in name for name in fleet_routes), (
+        f"the CPU fleet member never served: {fleet_routes}"
+    )
+    print(
+        f"serve-smoke (hybrid) ok: mixed CPU+GPU fleet served "
+        f"{report.answered} answers bit-exact across {fleet_routes}"
+    )
+    return 0
+
+
+def main(
+    chaos: bool = False,
+    shards: int = 0,
+    steady: bool = False,
+    hybrid: bool = False,
+) -> int:
+    if hybrid:
+        if chaos or shards or steady:
+            raise SystemExit(
+                "--hybrid does not combine with --chaos/--shards/--steady"
+            )
+        return run_hybrid()
     if steady:
         if chaos or shards:
             raise SystemExit("--steady does not combine with --chaos/--shards")
@@ -346,5 +491,6 @@ if __name__ == "__main__":
             chaos="--chaos" in sys.argv[1:],
             shards=_parse_shards(sys.argv[1:]),
             steady="--steady" in sys.argv[1:],
+            hybrid="--hybrid" in sys.argv[1:],
         )
     )

@@ -11,6 +11,7 @@ setup(
     # test (tests/test_imports.py) and this list stay in lockstep.
     packages=[
         "repro",
+        "repro.baselines",
         "repro.bench",
         "repro.crypto",
         "repro.dpf",

@@ -1,0 +1,21 @@
+"""Non-GPU baseline execution models (the paper's comparison points).
+
+The reproduction's main substrate models GPUs (:mod:`repro.gpu`); this
+package holds the baselines those numbers are compared *against*.
+Today that is the AES-NI-aware CPU baseline (:mod:`repro.baselines
+.cpu`) behind Figure 10's GPU-vs-CPU crossover argument: a
+:class:`~repro.baselines.cpu.CpuCostModel` priced from the PRFs'
+``cpu_cost`` metadata and a :class:`~repro.baselines.cpu.CpuBackend`
+speaking the full :class:`~repro.exec.ExecutionBackend` protocol, so a
+CPU can sit in the same plan caches, fleets, and serving loops as the
+modeled GPUs.
+"""
+
+from repro.baselines.cpu import CPU_BASELINE, CpuBackend, CpuCostModel, CpuSpec
+
+__all__ = [
+    "CPU_BASELINE",
+    "CpuBackend",
+    "CpuCostModel",
+    "CpuSpec",
+]

@@ -10,13 +10,18 @@ trajectory is diffable across commits.  Schema 4 added the
 ``pir_roundtrip`` family (the end-to-end two-server pipeline timed over
 the same ingest-mode axis); schema 5 adds the ``serving`` family (the
 async batch-aggregation loop under concurrent clients, reporting QPS
-and p50/p99 latency vs offered load and SLO deadline).
+and p50/p99 latency vs offered load and SLO deadline); schema 9 adds
+the ``backend_select`` family (the Figure 10 CPU-vs-GPU-vs-hybrid
+comparison, priced through the same cost models the fleet router acts
+on, answers verified bit-exact before pricing).
 
 ``scripts/bench.py`` is the CLI front end; ``--smoke`` runs the small
 CI grid, ``--list``/``--filter`` inspect and subset the case grid.
 """
 
 from repro.bench.harness import (
+    BACKEND_SELECT,
+    BACKEND_SELECT_BACKENDS,
     INGEST_MODES,
     PIR_ROUNDTRIP,
     SERVING,
@@ -31,6 +36,8 @@ from repro.bench.harness import (
 )
 
 __all__ = [
+    "BACKEND_SELECT",
+    "BACKEND_SELECT_BACKENDS",
     "BenchCase",
     "BenchResult",
     "INGEST_MODES",

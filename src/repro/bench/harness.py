@@ -32,13 +32,21 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.baselines import CpuBackend
 from repro.crypto import available_prfs, get_prf
 from repro.dpf import eval_full, gen, pack_keys, unpack_keys
-from repro.exec import MultiProcessBackend, PlanCache, SingleGpuBackend
+from repro.exec import (
+    EvalRequest,
+    HybridBackend,
+    MultiProcessBackend,
+    PlanCache,
+    SingleGpuBackend,
+)
 from repro.gpu import (
     ExpansionWorkspace,
     KeyArena,
     MemoryMeter,
+    V100,
     available_strategies,
     get_strategy,
 )
@@ -157,8 +165,46 @@ INGEST_MODES = ("objects", "wire", "arena")
   work is evaluation only.
 """
 
-SCHEMA_VERSION = 8
-"""Bumped to 8 with persistent-kernel serving: serving cases grew the
+BACKEND_SELECT = "backend_select"
+"""Pseudo-strategy name for the CPU-vs-GPU-vs-hybrid comparison family.
+
+A ``backend_select`` case prices one execution backend — selected by
+the ``backend`` axis (see :data:`BACKEND_SELECT_BACKENDS`) — at one
+(PRF, batch, table-size) shape: the paper's Figure 10 crossover study.
+``seconds`` is the backend's **modeled** per-batch latency
+(``model_latency_s``), not wall time: the GPU side is an analytic
+device model (there is no physical GPU here), and pricing both sides
+through their models is the only apples-to-apples comparison — the
+same numbers the fleet router and drain-time admission act on.
+``qps`` is ``batch / seconds``.
+
+Before any row is reported, the case's backend *functionally* serves
+the batch (``backend.run``) and the answers are verified bit-exact
+against the reference ``eval_full`` walk — the hybrid's routing
+decision must never change answers, only cost.  ``hybrid`` rows route
+through :class:`~repro.exec.HybridBackend` over the same CPU spec and
+V100 model the ``cpu`` / ``gpu`` rows price, so at every grid point
+the hybrid row's QPS is the max of its twins' by construction; the
+checked-in artifact makes that an auditable number.
+"""
+
+BACKEND_SELECT_BACKENDS = ("cpu", "gpu", "hybrid")
+"""Accepted ``backend`` axis values for :data:`BACKEND_SELECT` cases.
+
+``cpu`` is the AES-NI-aware :class:`~repro.baselines.CpuBackend` on
+the calibrated :data:`~repro.baselines.CPU_BASELINE` spec; ``gpu`` is
+a :class:`~repro.exec.SingleGpuBackend` on the V100 model (the paper's
+device); ``hybrid`` is a :class:`~repro.exec.HybridBackend` routing
+between those two by modeled crossover.
+"""
+
+SCHEMA_VERSION = 9
+"""Bumped to 9 with hybrid CPU/GPU execution: the
+:data:`BACKEND_SELECT` family (Figure 10 — CPU baseline vs V100 model
+vs cost-model-routed hybrid at every grid shape, answers verified
+bit-exact before pricing) and the ``backend`` axis on cases and
+results ("" for every other family).  Schema 8 added persistent-kernel
+serving: serving cases grew the
 ``plan_cache`` axis (memoized plans + pinned workspaces + overlapped
 ingest, interleaved next to its cold twin) and the ``procs`` axis
 (replica backends served by a :class:`~repro.exec.MultiProcessBackend`
@@ -208,6 +254,8 @@ class BenchCase:
             :class:`~repro.exec.MultiProcessBackend` pool of this many
             worker processes (0 = in-process backends; needs
             ``shards > 0``).
+        backend: :data:`BACKEND_SELECT` cases only — which execution
+            backend to price (see :data:`BACKEND_SELECT_BACKENDS`).
     """
 
     prf: str
@@ -225,6 +273,7 @@ class BenchCase:
     replicas: int = 1
     plan_cache: bool = False
     procs: int = 0
+    backend: str = ""
 
     @property
     def domain_size(self) -> int:
@@ -250,6 +299,8 @@ class BenchCase:
                 label += f" chaos={self.chaos}"
             if self.qos:
                 label += f" qos={self.qos}"
+        if self.strategy == BACKEND_SELECT:
+            label += f" backend={self.backend}"
         return label
 
 
@@ -271,7 +322,11 @@ class BenchResult:
     ``plan_cache_misses`` / ``overlap_flushes`` sum the reported
     sessions' serving-loop counters (nonzero only for
     ``plan_cache=True`` rows).  All are meaningful for :data:`SERVING`
-    rows and 0/"" elsewhere.
+    rows and 0/"" elsewhere.  ``backend`` echoes the
+    :data:`BACKEND_SELECT` axis ("" for every other family); for those
+    rows ``seconds`` is the backend's *modeled* per-batch latency (see
+    the family docstring) and ``verified`` certifies the functional
+    bit-exactness run that preceded pricing.
     """
 
     prf: str
@@ -306,6 +361,7 @@ class BenchResult:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     overlap_flushes: int = 0
+    backend: str = ""
 
 
 def _reference_blocks(batch: int, log_domain: int) -> int:
@@ -387,6 +443,55 @@ def _result(
         plan_cache_hits=plan_cache_hits,
         plan_cache_misses=plan_cache_misses,
         overlap_flushes=overlap_flushes,
+        backend=case.backend,
+    )
+
+
+def _select_case_backend(name: str):
+    """Build the execution backend a :data:`BACKEND_SELECT` case prices."""
+    if name == "cpu":
+        return CpuBackend()
+    if name == "gpu":
+        return SingleGpuBackend(V100)
+    if name == "hybrid":
+        return HybridBackend([CpuBackend(), SingleGpuBackend(V100)])
+    raise ValueError(
+        f"unknown backend {name!r} for a backend_select case; "
+        f"use one of {BACKEND_SELECT_BACKENDS}"
+    )
+
+
+def _run_backend_select_case(case: BenchCase, verify: bool) -> BenchResult:
+    """Price one backend at one shape; ``seconds`` is modeled latency.
+
+    The functional run (and its bit-exact check against the reference
+    walk) always precedes pricing, so a row can never report a cost
+    for a backend that answers wrongly.
+    """
+    backend = _select_case_backend(case.backend)
+    keys = _make_keys(case)
+    result = backend.run(EvalRequest(keys=keys, prf_name=case.prf))
+    verified = False
+    if verify:
+        prf = get_prf(case.prf)
+        want = np.stack([eval_full(key, prf) for key in keys])
+        if not np.array_equal(result.answers, want):
+            raise ValueError(
+                f"{case.backend} backend output diverged from the "
+                f"reference for {case}"
+            )
+        verified = True
+    seconds = backend.model_latency_s(case.batch, case.domain_size, case.prf)
+    if seconds is None or seconds <= 0:
+        raise ValueError(
+            f"{case.backend} backend cannot price {case.describe()!r}"
+        )
+    return _result(
+        case,
+        seconds,
+        result.cost.prf_blocks,
+        result.cost.peak_mem_bytes,
+        verified,
     )
 
 
@@ -723,6 +828,9 @@ def run_case(case: BenchCase, verify: bool = True) -> BenchResult:
     if case.strategy == PIR_ROUNDTRIP:
         return _run_pir_case(case, verify)
 
+    if case.strategy == BACKEND_SELECT:
+        return _run_backend_select_case(case, verify)
+
     prf = get_prf(case.prf)
     keys = _make_keys(case)
 
@@ -827,6 +935,11 @@ def default_grid(
       grid — QPS and p50/p99 latency vs offered load and deadline —
       plus sharded rows (2/4 shards, a 2x2 replicated set, and a
       replica-kill failover scenario) against their unsharded twin.
+    * :data:`BACKEND_SELECT` cases price the CPU baseline, the V100
+      model, and the cost-routed hybrid as interleaved triples across
+      {1, 16, 256} queries at the small and large table sizes for
+      ``aes128`` (hardware AES on both sides — the crossover case) and
+      ``chacha20`` (GPU-favored everywhere) — the Figure 10 family.
     """
     prfs = list(prfs) if prfs is not None else available_prfs()
     # The INGEST micro-cases, PIR round trips, and serving sessions ride
@@ -835,6 +948,9 @@ def default_grid(
     include_ingest = bool(prfs) and (strategies is None or INGEST in strategies)
     include_pir = bool(prfs) and (strategies is None or PIR_ROUNDTRIP in strategies)
     include_serving = bool(prfs) and (strategies is None or SERVING in strategies)
+    include_select = bool(prfs) and (
+        strategies is None or BACKEND_SELECT in strategies
+    )
     ingest_prf = "aes128" if "aes128" in prfs else (prfs[0] if prfs else "aes128")
     strategies = [
         s
@@ -843,7 +959,7 @@ def default_grid(
             if strategies is not None
             else [REFERENCE, *available_strategies()]
         )
-        if s not in (INGEST, PIR_ROUNDTRIP, SERVING)
+        if s not in (INGEST, PIR_ROUNDTRIP, SERVING, BACKEND_SELECT)
     ]
     cases = []
     for prf in prfs:
@@ -986,6 +1102,28 @@ def default_grid(
                     procs=procs,
                 )
             )
+    if include_select:
+        # Figure 10: the CPU baseline, the V100 model, and the routed
+        # hybrid priced as back-to-back triples at each shape.  aes128
+        # exercises the AES-NI story (CPU wins small batches, GPU wins
+        # large — a crossover inside this batch range at the small
+        # table); chacha20 has no hardware assist on the CPU, so the
+        # GPU side wins everywhere and the hybrid must follow it.
+        select_prfs = [p for p in ("aes128", "chacha20") if p in prfs]
+        for prf in select_prfs or [ingest_prf]:
+            for log_domain in sorted({min(log_domains), max(log_domains)}):
+                for batch in (1, 16, 256):
+                    for backend in BACKEND_SELECT_BACKENDS:
+                        cases.append(
+                            BenchCase(
+                                prf,
+                                BACKEND_SELECT,
+                                batch,
+                                log_domain,
+                                backend=backend,
+                                repeats=repeats,
+                            )
+                        )
     return cases
 
 
@@ -998,7 +1136,9 @@ def smoke_grid() -> list[BenchCase]:
     failover, and a worker-pool sharded session), so every ingest
     mode, the pipeline, the aggregation loop, the fault-tolerant
     control plane, the sharded/replicated front-end, and the
-    steady-state serving paths all stay exercised."""
+    steady-state serving paths all stay exercised.  Backend-select
+    triples (cpu / gpu / hybrid at a small and a larger batch) keep
+    the Figure 10 family and its bit-exactness check in CI."""
     cases = [
         BenchCase("chacha20", REFERENCE, 1, 8, repeats=1, warmup=0),
         BenchCase("aes128", "memory_bounded", 2, 8, repeats=1, warmup=0),
@@ -1120,6 +1260,21 @@ def smoke_grid() -> list[BenchCase]:
             procs=2,
         )
     )
+    # Backend-select smoke: every backend axis value runs (and is
+    # verified bit-exact) at a batch on each side of the crossover axis.
+    for batch in (2, 64):
+        for backend in BACKEND_SELECT_BACKENDS:
+            cases.append(
+                BenchCase(
+                    "aes128",
+                    BACKEND_SELECT,
+                    batch,
+                    8,
+                    backend=backend,
+                    repeats=1,
+                    warmup=0,
+                )
+            )
     for strategy in available_strategies():
         cases.append(BenchCase("siphash", strategy, 1, 8, repeats=1, warmup=0))
     return cases

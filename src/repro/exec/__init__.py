@@ -18,6 +18,13 @@ bit-identical answers; the PIR pipeline in :mod:`repro.pir` serves
 through whichever one it is handed.  :class:`PlanCache` adds the
 zero-dispatch steady-state path on top: memoized plans plus pinned
 workspaces per workload shape, with pow2 batch bucketing.
+
+:mod:`repro.exec.select` is the hybrid-execution decision layer:
+:func:`select_backend` prices a request on every candidate and picks
+the cheapest, and :class:`HybridBackend` packages that rule as a
+backend of its own — per-shape crossover buckets route small batches
+to a CPU baseline and large ones to the GPUs (Figure 10's argument as
+a dispatch policy).
 """
 
 from repro.exec.backend import (
@@ -30,6 +37,7 @@ from repro.exec.backend import (
 from repro.exec.plan_cache import PlanCache, PlanCacheStats, batch_bucket
 from repro.exec.procpool import MultiProcessBackend, WorkerFailure
 from repro.exec.request import EvalRequest, EvalResult, ExecutionPlan
+from repro.exec.select import BackendChoice, HybridBackend, select_backend
 
 __all__ = [
     "EvalRequest",
@@ -40,9 +48,12 @@ __all__ = [
     "MultiGpuBackend",
     "MultiProcessBackend",
     "SimulatedBackend",
+    "HybridBackend",
+    "BackendChoice",
     "PlanCache",
     "PlanCacheStats",
     "WorkerFailure",
     "batch_bucket",
+    "select_backend",
     "merged_cost",
 ]

@@ -107,6 +107,13 @@ class ExecutionBackend(abc.ABC):
 
     name: str = "abstract"
 
+    device_class: str = "gpu"
+    """Coarse hardware class for hybrid routing: the CPU baseline
+    overrides this to ``"cpu"``; everything modeled on a
+    :class:`~repro.gpu.device.DeviceSpec` is ``"gpu"``.
+    :class:`~repro.exec.select.HybridBackend` splits its candidate pool
+    on this attribute when locating a shape's crossover batch."""
+
     @staticmethod
     def _apply_range(request: EvalRequest, answers: np.ndarray) -> np.ndarray:
         """Clip a full ``(B, L)`` share matrix to the request's range.

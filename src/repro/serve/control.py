@@ -239,6 +239,15 @@ class DrainTimeModel:
     per-submission cost is a dict lookup.  A backend without a model
     (``model_latency_s`` returning ``None``) yields ``inf`` QPS, which
     disables drain shedding rather than guessing.
+
+    ``ValueError`` from a backend's model means something different
+    from ``None``: the shape is genuinely *infeasible* there (e.g. no
+    feasible GPU strategy at ``flush_batch``), so that backend
+    contributes zero QPS while the rest of the fleet still prices the
+    shape honestly.  Only when **no** backend can price it — every
+    model raises — does the drain model fail open with ``inf``.  A
+    fleet containing a :class:`~repro.baselines.cpu.CpuBackend` (which
+    prices every shape) therefore never takes the fail-open path.
     """
 
     def __init__(self, backends, flush_batch: int, entry_bytes: int = 8):
@@ -257,6 +266,7 @@ class DrainTimeModel:
         qps = self._qps.get(key)
         if qps is None:
             qps = 0.0
+            priced_any = False
             for backend in self.backends:
                 try:
                     latency = backend.model_latency_s(
@@ -267,14 +277,19 @@ class DrainTimeModel:
                         entry_bytes=self.entry_bytes,
                     )
                 except ValueError:
-                    # The model cannot price this shape (e.g. no
-                    # feasible plan at flush_batch); fail open — admit
-                    # rather than shed on a guess.
-                    latency = None
+                    # Genuinely infeasible on this backend (no feasible
+                    # plan at flush_batch): zero QPS from it, but the
+                    # rest of the fleet still prices the shape.
+                    continue
                 if latency is None or latency <= 0:
-                    qps = math.inf
+                    # No model at all: fail open — admit rather than
+                    # shed on a guess.
+                    priced_any = False
                     break
                 qps += self.flush_batch / latency
+                priced_any = True
+            if not priced_any:
+                qps = math.inf
             self._qps[key] = qps
         return qps
 

@@ -94,12 +94,35 @@ class FleetScheduler:
         batch's modeled latency, which is what spreads a stream of
         batches across the fleet instead of piling onto the single
         fastest device.
+
+        A backend whose planner raises ``ValueError`` (no feasible
+        strategy for this shape — a GPU model rejecting a batch a CPU
+        entry would happily serve) simply drops out of the candidate
+        set for this batch; the error propagates only when *every*
+        backend rejects the shape.
+
+        Raises:
+            ValueError: When no backend in the fleet can plan the
+                request.
         """
-        plans = [backend.plan(request) for backend in self.backends]
+        plans: list[ExecutionPlan | None] = []
+        for backend in self.backends:
+            try:
+                plans.append(backend.plan(request))
+            except ValueError:
+                plans.append(None)
+        candidates = [i for i, plan in enumerate(plans) if plan is not None]
+        if not candidates:
+            raise ValueError(
+                "no backend in the fleet can plan the request "
+                f"(batch={request.arena().batch}, "
+                f"domain={request.arena().domain_size})"
+            )
         finishes = [
-            self._busy_s[i] + plan.latency_s for i, plan in enumerate(plans)
+            self._busy_s[i] + plans[i].latency_s if plans[i] is not None else 0.0
+            for i in range(len(plans))
         ]
-        winner = min(range(len(plans)), key=lambda i: (finishes[i], i))
+        winner = min(candidates, key=lambda i: (finishes[i], i))
         decision = RoutingDecision(
             backend_index=winner,
             backend_label=self.labels[winner],
@@ -131,18 +154,35 @@ class FleetScheduler:
         returned latency is ``batch_size`` over that sum — the number
         drain-time admission divides queue depth by when a fleet is
         attached.  ``None`` when any backend lacks a model (the caller
-        must then skip model-based policies).
+        must then skip model-based policies).  A member whose model
+        raises ``ValueError`` is genuinely infeasible for the shape and
+        contributes zero QPS instead of poisoning the aggregate — a
+        fleet with a CPU entry therefore prices every shape.
+
+        Raises:
+            ValueError: When every member's model rejects the shape.
         """
         total_qps = 0.0
+        priced_any = False
         for backend in self.backends:
-            latency = backend.model_latency_s(
-                batch_size,
-                table_entries,
-                prf_name=prf_name,
-                resident=resident,
-                entry_bytes=entry_bytes,
-            )
+            try:
+                latency = backend.model_latency_s(
+                    batch_size,
+                    table_entries,
+                    prf_name=prf_name,
+                    resident=resident,
+                    entry_bytes=entry_bytes,
+                )
+            except ValueError:
+                continue
             if latency is None or latency <= 0:
                 return None
             total_qps += batch_size / latency
+            priced_any = True
+        if not priced_any:
+            raise ValueError(
+                "no backend in the fleet can price the shape "
+                f"(batch={batch_size}, domain={table_entries}, "
+                f"prf={prf_name!r})"
+            )
         return batch_size / total_qps

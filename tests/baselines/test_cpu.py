@@ -1,0 +1,154 @@
+"""The AES-NI CPU baseline: cost model calibration and backend contract.
+
+Claims: the model prices *every* shape (the property drain-time
+admission now leans on), its terms order the PRFs by their ``cpu_cost``
+metadata, its calibration reproduces the paper's Figure 10 anchors
+against the V100 model (GPU wins large batch by roughly an order of
+magnitude; CPU wins single-query batches at small tables), and
+``CpuBackend`` satisfies the full ExecutionBackend contract including
+plan-cache reuse.  Bit-identity to the reference evaluator is pinned by
+the shared equivalence suites (``tests/exec/test_backends.py`` et al.)
+through ``BACKEND_FACTORIES``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CPU_BASELINE, CpuBackend, CpuCostModel, CpuSpec
+from repro.crypto import get_prf
+from repro.dpf import gen
+from repro.exec import EvalRequest, PlanCache, SingleGpuBackend
+from repro.gpu import Scheduler, V100
+
+
+def _keys(batch, domain, prf_name="aes128", seed=7):
+    prf = get_prf(prf_name)
+    rng = np.random.default_rng(seed)
+    return [
+        gen(int(rng.integers(0, domain)), domain, prf, rng, beta=i + 1)[i % 2]
+        for i in range(batch)
+    ]
+
+
+class TestCpuCostModel:
+    def test_prices_every_shape(self):
+        """No None, no ValueError — even shapes the GPU model rejects."""
+        model = CpuCostModel()
+        for batch in (1, 7, 256, 1 << 14):
+            for table in (1, 200, 1 << 10, 1 << 20):
+                latency = model.latency_s(batch, table)
+                assert latency > 0 and np.isfinite(latency)
+
+    def test_latency_monotone_in_batch(self):
+        model = CpuCostModel()
+        latencies = [model.latency_s(b, 1 << 12) for b in (1, 2, 8, 64, 512)]
+        assert latencies == sorted(latencies)
+        assert latencies[0] < latencies[-1]
+
+    def test_prf_cpu_cost_orders_the_model(self):
+        """ChaCha20 (no hardware assist, cpu_cost 4.0) must cost more
+        CPU time than AES-NI-backed aes128 at the same shape."""
+        model = CpuCostModel()
+        aes = model.latency_s(16, 1 << 12, "aes128")
+        chacha = model.latency_s(16, 1 << 12, "chacha20")
+        siphash = model.latency_s(16, 1 << 12, "siphash")
+        assert chacha > aes > siphash
+
+    def test_resident_amortizes_the_parse(self):
+        model = CpuCostModel()
+        streaming = model.select(32, 1 << 10, "aes128", resident=False)
+        resident = model.select(32, 1 << 10, "aes128", resident=True)
+        assert streaming.plan.host_bytes_in > 0
+        assert streaming.plan.resident_bytes == 0
+        assert resident.plan.host_bytes_in == 0
+        assert resident.plan.resident_bytes == streaming.plan.host_bytes_in
+        assert resident.stats.latency_s < streaming.stats.latency_s
+
+    def test_stats_terms_sum_to_latency(self):
+        stats = CpuCostModel().select(8, 1 << 12, "aes128").stats
+        assert stats.latency_s == pytest.approx(
+            stats.compute_time_s + stats.memory_time_s + stats.overhead_time_s
+        )
+        assert stats.feasible
+        assert stats.prf_blocks == 8 * 2 * ((1 << 12) - 1)
+
+
+class TestFigure10Calibration:
+    """The two anchors of the paper's CPU-vs-GPU crossover argument."""
+
+    def test_gpu_wins_large_batch_by_an_order_of_magnitude(self):
+        """At the 2^20-entry aes128 large-batch point the V100 model
+        must lead the CPU baseline by the paper's roughly 13-14x."""
+        batch, table = 1024, 1 << 20
+        cpu = CpuCostModel().latency_s(batch, table, "aes128")
+        gpu = Scheduler(V100).latency_s(batch, table, "aes128")
+        ratio = cpu / gpu
+        assert 8.0 < ratio < 20.0
+
+    def test_cpu_wins_single_query_batches_at_small_tables(self):
+        for table in (1 << 8, 1 << 10):
+            cpu = CpuCostModel().latency_s(1, table, "aes128")
+            gpu = Scheduler(V100).latency_s(1, table, "aes128")
+            assert cpu < gpu
+
+    def test_crossover_exists_in_between(self):
+        """At 2^10 entries the lead flips from CPU to GPU somewhere
+        inside the bench grid's batch range."""
+        model, scheduler = CpuCostModel(), Scheduler(V100)
+        wins = [
+            model.latency_s(b, 1 << 10, "aes128")
+            < scheduler.latency_s(b, 1 << 10, "aes128")
+            for b in (1, 4, 16, 64, 256)
+        ]
+        assert wins[0] and not wins[-1]
+
+
+class TestCpuBackend:
+    def test_plan_is_one_cpu_shard(self):
+        keys = _keys(4, 200)
+        plan = CpuBackend().plan(EvalRequest(keys=keys, prf_name="aes128"))
+        assert plan.backend == "cpu"
+        assert plan.feasible
+        assert plan.strategies == ("cpu_reference",)
+        [shard] = plan.stats.shards
+        assert shard.device_name == CPU_BASELINE.name
+        assert shard.batch_size == 4
+
+    def test_model_latency_is_the_plan_latency(self):
+        """The metadata-only hook and the keyed planner agree — fleet
+        routing and drain pricing share one CPU model."""
+        keys = _keys(8, 1 << 10)
+        backend = CpuBackend()
+        plan = backend.plan(EvalRequest(keys=keys, prf_name="aes128"))
+        assert plan.latency_s == backend.model_latency_s(8, 1 << 10, "aes128")
+
+    def test_plan_key_is_the_spec_identity(self):
+        assert CpuBackend().plan_key == CpuBackend().plan_key
+        other = CpuBackend(
+            CpuSpec(
+                name="epyc-aesni",
+                aes_rate=3e8,
+                mem_bandwidth=150e9,
+                parse_bandwidth=2e9,
+                batch_overhead_s=20e-6,
+                per_query_overhead_s=1e-6,
+                threads=64,
+            )
+        )
+        assert other.plan_key != CpuBackend().plan_key
+
+    def test_device_class_splits_cpu_from_gpu(self):
+        assert CpuBackend().device_class == "cpu"
+        assert SingleGpuBackend().device_class == "gpu"
+
+    def test_serves_through_a_plan_cache(self):
+        keys = _keys(5, 200)
+        backend, cache = CpuBackend(), PlanCache()
+        request = EvalRequest(keys=keys, prf_name="aes128")
+        first = cache.run(backend, request)
+        second = cache.run(backend, EvalRequest(keys=keys, prf_name="aes128"))
+        assert np.array_equal(first.answers, second.answers)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        # The cached plan is priced at the pow2 bucket, per cache policy.
+        assert first.plan.batch_size == 8
+        assert first.cost.strategy == "cpu_reference"

@@ -71,6 +71,20 @@ class TestList:
         assert {c.offered_qps for c in cases} == {0.0, 512.0}
         assert {c.slo_ms for c in cases} == {1.0, 8.0}
 
+    def test_filter_selects_the_backend_select_family(self, bench_cli):
+        cases = bench_cli.select_cases(
+            bench_cli._parse_args(["--filter", "backend_select"])
+        )
+        assert cases
+        assert all(c.strategy == "backend_select" for c in cases)
+        assert {c.backend for c in cases} == {"cpu", "gpu", "hybrid"}
+
+    def test_strategy_axis_accepts_backend_select(self, bench_cli):
+        args = bench_cli._parse_args(["--strategies", "backend_select"])
+        cases = bench_cli.select_cases(args)
+        assert cases
+        assert all(c.strategy == "backend_select" for c in cases)
+
     def test_list_composes_with_filter(self, bench_cli, capsys):
         assert bench_cli.main(["--list", "--filter", "ingest"]) == 0
         lines = [

@@ -1,10 +1,13 @@
-"""The fig_sweeps CLI: Figure 8/9 CSV emission from a bench artifact.
+"""The fig_sweeps CLI: figure/table CSV emission from a bench artifact.
 
 Claims: eval-family rows become one CSV line each (grouped, batch-
 ordered) with measured, modeled, and modeled-pipelined QPS columns;
 non-eval families are skipped; resident-keys (``arena``) rows model no
-parse stage so their pipeline speedup is exactly 1; and the emitted
-header is the frozen ``CSV_COLUMNS`` schema CI checks against.
+parse stage so their pipeline speedup is exactly 1; the ``table``
+sweep re-pivots the same points ordered by table size (Fig 13/14); the
+``prf`` sweep reduces to one best-measured row per (prf, shape) with
+the CPU-baseline comparison columns (Table 5); and every emitted
+header is its frozen ``*CSV_COLUMNS`` schema CI checks against.
 """
 
 import csv
@@ -95,6 +98,79 @@ class TestSweepRows:
         assert row["modeled_pipelined_qps"] > row["modeled_qps"]
 
 
+class TestTableSweep:
+    def test_groups_are_table_size_ordered(self, fig_sweeps):
+        rows = fig_sweeps.table_sweep_rows(
+            [
+                _row("level_by_level", 4, log_domain=12),
+                _row("level_by_level", 4, log_domain=8),
+                _row("branch_parallel", 4, log_domain=10),
+                _row("serving", 4),
+            ]
+        )
+        assert [(r["strategy"], r["log_domain"]) for r in rows] == [
+            ("branch_parallel", 10),
+            ("level_by_level", 8),
+            ("level_by_level", 12),
+        ]
+
+    def test_same_pricing_as_the_batch_sweep(self, fig_sweeps):
+        """The table pivot reorders the batch sweep's rows; it must
+        never reprice them."""
+        results = [
+            _row("memory_bounded", 8, log_domain=8),
+            _row("memory_bounded", 8, log_domain=12),
+        ]
+        by_batch = {
+            (r["log_domain"], r["batch"]): r["modeled_qps"]
+            for r in fig_sweeps.sweep_rows(results)
+        }
+        for row in fig_sweeps.table_sweep_rows(results):
+            assert row["modeled_qps"] == by_batch[(row["log_domain"], row["batch"])]
+            assert set(row) == set(fig_sweeps.TABLE_CSV_COLUMNS)
+
+
+class TestPrfSweep:
+    def test_reduces_to_the_best_measured_strategy_per_shape(self, fig_sweeps):
+        rows = fig_sweeps.prf_sweep_rows(
+            [
+                _row("level_by_level", 4, qps=50.0),
+                _row("memory_bounded", 4, qps=90.0),
+                _row("reference", 4, qps=999.0),
+            ]
+        )
+        assert [(r["prf"], r["strategy"], r["measured_qps"]) for r in rows] == [
+            ("aes128", "memory_bounded", 90.0)
+        ]
+
+    def test_cpu_column_prices_the_aesni_baseline(self, fig_sweeps):
+        """chacha20 (no AES-NI assist) must show a larger modeled
+        GPU-over-CPU win than aes128 at the same shape — the per-PRF
+        acceleration story Table 5 exists to tell."""
+        rows = fig_sweeps.prf_sweep_rows(
+            [
+                _row("memory_bounded", 256, log_domain=14, prf="aes128"),
+                _row("memory_bounded", 256, log_domain=14, prf="chacha20"),
+            ]
+        )
+        by_prf = {r["prf"]: r for r in rows}
+        for row in rows:
+            assert row["cpu_modeled_qps"] > 0
+            assert row["gpu_vs_cpu"] == pytest.approx(
+                row["modeled_qps"] / row["cpu_modeled_qps"], rel=0.01
+            )
+        assert by_prf["chacha20"]["gpu_vs_cpu"] > by_prf["aes128"]["gpu_vs_cpu"]
+
+    def test_cpu_wins_small_batches_and_loses_large(self, fig_sweeps):
+        small, large = fig_sweeps.prf_sweep_rows(
+            [
+                _row("memory_bounded", 1, log_domain=10),
+                _row("memory_bounded", 256, log_domain=10),
+            ]
+        )
+        assert small["gpu_vs_cpu"] < 1.0 < large["gpu_vs_cpu"]
+
+
 class TestCli:
     def test_writes_the_frozen_csv_schema(self, fig_sweeps, tmp_path, capsys):
         artifact = _artifact(
@@ -126,6 +202,25 @@ class TestCli:
         columns = list(fig_sweeps.CSV_COLUMNS)
         assert v100[columns.index("measured_qps")] == a100[columns.index("measured_qps")]
         assert v100[columns.index("modeled_qps")] != a100[columns.index("modeled_qps")]
+
+    def test_sweep_axis_selects_the_frozen_schema(
+        self, fig_sweeps, tmp_path, capsys
+    ):
+        artifact = _artifact(
+            tmp_path,
+            [
+                _row("memory_bounded", 4, log_domain=8),
+                _row("memory_bounded", 4, log_domain=12),
+            ],
+        )
+        assert fig_sweeps.main([artifact, "--sweep", "table"]) == 0
+        table_lines = capsys.readouterr().out.strip().splitlines()
+        assert table_lines[0] == ",".join(fig_sweeps.TABLE_CSV_COLUMNS)
+        assert len(table_lines) == 3
+        assert fig_sweeps.main([artifact, "--sweep", "prf"]) == 0
+        prf_lines = capsys.readouterr().out.strip().splitlines()
+        assert prf_lines[0] == ",".join(fig_sweeps.PRF_CSV_COLUMNS)
+        assert len(prf_lines) == 3
 
     def test_non_artifact_json_is_a_loud_usage_error(
         self, fig_sweeps, tmp_path, capsys

@@ -15,6 +15,8 @@ from repro.bench import (
     write_results,
 )
 from repro.bench.harness import (
+    BACKEND_SELECT,
+    BACKEND_SELECT_BACKENDS,
     INGEST,
     INGEST_MODES,
     PIR_ROUNDTRIP,
@@ -250,6 +252,79 @@ class TestSchema8Axes:
         assert cold.plan_cache_hits == 0
         assert cold.plan_cache_misses == 0
         assert cold.overlap_flushes == 0
+
+
+class TestBackendSelectFamily:
+    """The schema-9 Figure 10 family: modeled pricing, verified answers."""
+
+    def test_smoke_grid_runs_every_backend(self):
+        rows = [c for c in smoke_grid() if c.strategy == BACKEND_SELECT]
+        assert {c.backend for c in rows} == set(BACKEND_SELECT_BACKENDS)
+        # Two batch sizes, so routing sees both sides of the axis.
+        assert len({c.batch for c in rows}) == 2
+
+    def test_default_grid_interleaves_backend_triples(self):
+        rows = [c for c in default_grid() if c.strategy == BACKEND_SELECT]
+        assert rows, "default grid lost the backend_select family"
+        assert {c.prf for c in rows} == {"aes128", "chacha20"}
+        assert {c.batch for c in rows} == {1, 16, 256}
+        # cpu / gpu / hybrid run back to back at every shape, so
+        # host-load drift across the grid cannot skew the comparison.
+        for i in range(0, len(rows), 3):
+            triple = rows[i : i + 3]
+            assert [c.backend for c in triple] == list(BACKEND_SELECT_BACKENDS)
+            assert len({(c.prf, c.batch, c.log_domain) for c in triple}) == 1
+
+    def test_family_honors_strategy_restriction(self):
+        assert not any(
+            c.strategy == BACKEND_SELECT
+            for c in default_grid(strategies=["memory_bounded"])
+        )
+        only = default_grid(prfs=["siphash"], strategies=[BACKEND_SELECT])
+        assert only
+        assert all(c.strategy == BACKEND_SELECT for c in only)
+        assert all(c.prf == "siphash" for c in only)
+
+    @pytest.mark.parametrize("backend", BACKEND_SELECT_BACKENDS)
+    def test_case_verifies_then_prices(self, backend):
+        case = BenchCase(
+            "aes128", BACKEND_SELECT, 4, 6, backend=backend, repeats=1, warmup=0
+        )
+        result = run_case(case)
+        assert result.backend == backend
+        assert result.verified
+        assert result.qps > 0 and result.seconds > 0
+        assert result.prf_blocks > 0 and result.peak_mem_bytes > 0
+
+    def test_hybrid_row_matches_the_better_twin(self):
+        """The acceptance criterion at one shape: hybrid QPS is the max
+        of its cpu/gpu twins (it routes to whichever model is cheaper)."""
+        by_backend = {}
+        for backend in BACKEND_SELECT_BACKENDS:
+            case = BenchCase(
+                "aes128", BACKEND_SELECT, 2, 8, backend=backend, repeats=1, warmup=0
+            )
+            by_backend[backend] = run_case(case).qps
+        assert by_backend["hybrid"] == pytest.approx(
+            max(by_backend["cpu"], by_backend["gpu"])
+        )
+
+    def test_unknown_backend_rejected(self):
+        case = BenchCase(
+            "aes128", BACKEND_SELECT, 2, 6, backend="tpu", repeats=1, warmup=0
+        )
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_case(case)
+
+    def test_describe_carries_the_backend_axis(self):
+        case = BenchCase("aes128", BACKEND_SELECT, 2, 8, backend="hybrid")
+        assert "backend=hybrid" in case.describe()
+
+    def test_result_echoes_the_backend_axis(self):
+        eval_row = run_case(
+            BenchCase("siphash", "memory_bounded", 1, 4, repeats=1, warmup=0)
+        )
+        assert eval_row.backend == ""
 
 
 class TestDescribe:

@@ -1,0 +1,217 @@
+"""Hybrid routing correctness: selection, bit-identity, monotonicity.
+
+Claims: ``select_backend`` is a pure cheapest-candidate decision that
+skips unpriceable candidates; ``HybridBackend`` is bit-exact to the
+reference oracle across every key-source form, residency mode, and
+candidate set; and its crossover is *monotone* — once a shape's routing
+flips to the GPU side at some pow2 bucket it never flips back at a
+larger one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import CPU_BASELINE, CpuBackend
+from repro.crypto import get_prf
+from repro.dpf import eval_full, gen, pack_keys
+from repro.exec import (
+    EvalRequest,
+    HybridBackend,
+    MultiGpuBackend,
+    PlanCache,
+    SimulatedBackend,
+    SingleGpuBackend,
+    select_backend,
+)
+from repro.gpu import KeyArena, V100
+from repro.gpu.device import A100
+
+from tests.strategies import STANDARD_SETTINGS, dpf_cases
+
+CANDIDATE_SETS = {
+    "cpu_only": lambda: [CpuBackend()],
+    "gpu_only": lambda: [SingleGpuBackend(V100)],
+    "cpu_gpu": lambda: [CpuBackend(), SingleGpuBackend(V100)],
+    "cpu_mixed_gpus": lambda: [
+        CpuBackend(),
+        SingleGpuBackend(V100),
+        MultiGpuBackend([V100, A100]),
+    ],
+}
+
+
+def _keys(batch, domain, prf_name="aes128", seed=11):
+    prf = get_prf(prf_name)
+    rng = np.random.default_rng(seed)
+    return [
+        gen(int(rng.integers(0, domain)), domain, prf, rng, beta=i + 1)[i % 2]
+        for i in range(batch)
+    ]
+
+
+class _Unpriced(SingleGpuBackend):
+    def model_latency_s(self, *args, **kwargs):
+        return None
+
+
+class _Rejecting(SingleGpuBackend):
+    def model_latency_s(self, *args, **kwargs):
+        raise ValueError("no feasible plan")
+
+
+class TestSelectBackend:
+    def test_picks_the_cheapest_candidate(self):
+        keys = _keys(1, 1 << 10)
+        cpu, gpu = CpuBackend(), SingleGpuBackend(V100)
+        choice = select_backend(EvalRequest(keys=keys, prf_name="aes128"), [gpu, cpu])
+        # Single-query batch at a small table: the CPU side must win.
+        assert choice.backend is cpu
+        assert CPU_BASELINE.name in choice.label
+        assert choice.latency_s == cpu.model_latency_s(1, 1 << 10, "aes128")
+        assert len(choice.priced) == 2
+
+    def test_large_batch_flips_to_the_gpu(self):
+        keys = _keys(256, 1 << 10)
+        cpu, gpu = CpuBackend(), SingleGpuBackend(V100)
+        choice = select_backend(EvalRequest(keys=keys, prf_name="aes128"), [cpu, gpu])
+        assert choice.backend is gpu
+
+    def test_unpriceable_candidates_are_skipped(self):
+        keys = _keys(2, 64)
+        cpu = CpuBackend()
+        choice = select_backend(
+            EvalRequest(keys=keys, prf_name="aes128"),
+            [_Unpriced(), _Rejecting(), cpu],
+        )
+        assert choice.backend is cpu
+        assert choice.priced[0][1] is None and choice.priced[1][1] is None
+
+    def test_empty_and_unpriceable_pools_rejected(self):
+        request = EvalRequest(keys=_keys(2, 64), prf_name="aes128")
+        with pytest.raises(ValueError, match="at least one"):
+            select_backend(request, [])
+        with pytest.raises(ValueError, match="no candidate"):
+            select_backend(request, [_Unpriced(), _Rejecting()])
+
+
+@pytest.mark.parametrize("candidates", sorted(CANDIDATE_SETS))
+class TestHybridBitIdentity:
+    """The satellite property: hybrid == reference oracle everywhere."""
+
+    @given(case=dpf_cases(max_domain=128), data=st.data())
+    @STANDARD_SETTINGS
+    def test_matches_the_oracle(self, candidates, case, data):
+        (k0, k1), prf = case.keys()
+        keys = [k0, k1]
+        source_form = data.draw(
+            st.sampled_from(["objects", "arena", "wire"]), label="source_form"
+        )
+        resident = data.draw(st.booleans(), label="resident")
+        if source_form == "objects":
+            source = keys
+        elif source_form == "arena":
+            source = KeyArena.from_keys(keys)
+        else:
+            source = pack_keys(keys)
+        request = EvalRequest(
+            keys=source, prf_name=case.prf_name, resident=resident
+        )
+        hybrid = HybridBackend(CANDIDATE_SETS[candidates]())
+        result = hybrid.run(request)
+        oracle = SimulatedBackend().run(
+            EvalRequest(keys=keys, prf_name=case.prf_name, resident=resident)
+        )
+        assert np.array_equal(result.answers, oracle.answers)
+        assert result.plan.backend == "hybrid"
+        assert result.plan.resident is resident
+
+
+class TestCrossoverMonotonicity:
+    @pytest.mark.parametrize("prf_name", ["aes128", "sha256"])
+    @pytest.mark.parametrize("log_domain", [8, 10, 14])
+    def test_once_gpu_always_gpu(self, prf_name, log_domain):
+        """Scanning pow2 buckets of one shape, the routed side is a
+        step function: CPU below the crossover, GPU at and above it."""
+        cpu, gpu = CpuBackend(), SingleGpuBackend(V100)
+        hybrid = HybridBackend([cpu, gpu])
+        table = 1 << log_domain
+        flipped = False
+        for bucket in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024):
+            # Classify the routed side behaviorally: the hybrid's price
+            # is exactly one candidate's price for the same shape.
+            latency = hybrid.model_latency_s(bucket, table, prf_name)
+            assert latency is not None and latency > 0
+            routed_gpu = latency == gpu.model_latency_s(bucket, table, prf_name)
+            if flipped:
+                assert routed_gpu, (
+                    f"routing flipped back to CPU at bucket {bucket} "
+                    f"for {prf_name} @ 2^{log_domain}"
+                )
+            flipped = flipped or routed_gpu
+
+    def test_routing_follows_the_crossover_on_real_batches(self):
+        """plan() on concrete key batches lands on the side the
+        memoized crossover dictates."""
+        hybrid = HybridBackend([CpuBackend(), SingleGpuBackend(V100)])
+        table = 1 << 10
+        crossover = hybrid.crossover_bucket(table, "aes128")
+        assert crossover is not None and 1 < crossover <= 256
+        below = hybrid.plan(
+            EvalRequest(keys=_keys(crossover // 2, table), prf_name="aes128")
+        )
+        at = hybrid.plan(
+            EvalRequest(keys=_keys(crossover, table), prf_name="aes128")
+        )
+        assert below.stats.shards[0].device_name == CPU_BASELINE.name
+        assert at.stats.shards[0].device_name == V100.name
+
+
+class TestHybridContract:
+    def test_routing_counters_count_dispatches_not_plans(self):
+        hybrid = HybridBackend([CpuBackend(), SingleGpuBackend(V100)])
+        table = 1 << 10
+        hybrid.plan(EvalRequest(keys=_keys(1, table), prf_name="aes128"))
+        assert sum(hybrid.route_counts) == 0
+        hybrid.run(EvalRequest(keys=_keys(1, table), prf_name="aes128"))
+        hybrid.run(EvalRequest(keys=_keys(64, table), prf_name="aes128"))
+        counts = hybrid.class_counts()
+        assert counts.get("cpu") == 1 and counts.get("gpu") == 1
+        assert sum(hybrid.routing_counts().values()) == 2
+
+    def test_model_latency_is_the_routed_candidates(self):
+        cpu, gpu = CpuBackend(), SingleGpuBackend(V100)
+        hybrid = HybridBackend([cpu, gpu])
+        table = 1 << 10
+        assert hybrid.model_latency_s(1, table, "aes128") == cpu.model_latency_s(
+            1, table, "aes128"
+        )
+        assert hybrid.model_latency_s(256, table, "aes128") == gpu.model_latency_s(
+            256, table, "aes128"
+        )
+
+    def test_serves_through_a_plan_cache(self):
+        """The bucketed decision matches the cache's bucketing, so a
+        cached hybrid plan replays on the candidate that produced it."""
+        hybrid = HybridBackend([CpuBackend(), SingleGpuBackend(V100)])
+        cache = PlanCache()
+        keys = _keys(5, 200)
+        expected = np.stack(
+            [eval_full(k, get_prf("aes128")) for k in keys]
+        )
+        for _ in range(2):
+            result = cache.run(hybrid, EvalRequest(keys=keys, prf_name="aes128"))
+            assert np.array_equal(result.answers, expected)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert sum(hybrid.route_counts) == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HybridBackend([])
+
+    def test_plan_key_spans_the_candidates(self):
+        cpu, gpu = CpuBackend(), SingleGpuBackend(V100)
+        key = HybridBackend([cpu, gpu]).plan_key
+        assert key[0] == "hybrid"
+        assert cpu.plan_key in key and gpu.plan_key in key

@@ -15,6 +15,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.baselines import CpuBackend
 from repro.exec import SingleGpuBackend
 from repro.pir import PirClient, PirServer
 from repro.serve import (
@@ -155,6 +156,13 @@ class _UnpricedBackend(SingleGpuBackend):
         return None
 
 
+class _RejectingBackend(SingleGpuBackend):
+    """A backend whose cost model rejects every shape as infeasible."""
+
+    def model_latency_s(self, *args, **kwargs):
+        raise ValueError("no feasible plan at this shape")
+
+
 class TestDrainTimeModel:
     def test_prices_through_the_analytic_model(self):
         backend = SingleGpuBackend()
@@ -181,21 +189,38 @@ class TestDrainTimeModel:
         assert math.isinf(model.modeled_qps(64, "siphash", False))
         assert model.drain_s(10**9, 64, "siphash", False) == 0.0
 
-    def test_unpriceable_shape_fails_open_under_a_fleet(self):
-        """One fleet member raising ValueError on an unpriceable shape
-        disables drain shedding for the whole fleet — an exotic shape
-        must be admitted, never shed on a guess (and never crash the
-        admission path)."""
+    def test_infeasible_member_contributes_zero_qps(self):
+        """A fleet member raising ValueError on an infeasible shape
+        drops out of the aggregate — the rest of the fleet still prices
+        the shape honestly instead of failing open."""
+        priced = SingleGpuBackend()
+        model = DrainTimeModel([priced, _RejectingBackend()], flush_batch=8)
+        qps = model.modeled_qps(64, "siphash", False)
+        assert qps == pytest.approx(8 / priced.model_latency_s(8, 64, "siphash"))
+        assert math.isfinite(model.drain_s(10**9, 64, "siphash", False))
 
-        class _RejectingBackend(SingleGpuBackend):
-            def model_latency_s(self, *args, **kwargs):
-                raise ValueError("no feasible plan at this shape")
-
+    def test_fails_open_only_when_no_member_prices(self):
+        """Every member rejecting the shape is the one remaining
+        fail-open case: admit rather than shed on a guess (and never
+        crash the admission path)."""
         model = DrainTimeModel(
-            [SingleGpuBackend(), _RejectingBackend()], flush_batch=8
+            [_RejectingBackend(), _RejectingBackend()], flush_batch=8
         )
         assert math.isinf(model.modeled_qps(64, "siphash", False))
         assert model.drain_s(10**9, 64, "siphash", False) == 0.0
+
+    def test_cpu_entry_closes_the_fail_open_path(self):
+        """With a CpuBackend in the fleet, shapes the GPU model rejects
+        are still priced — drain admission never takes the fail-open
+        ValueError path (the ISSUE 9 regression)."""
+        model = DrainTimeModel(
+            [_RejectingBackend(), CpuBackend()], flush_batch=8
+        )
+        qps = model.modeled_qps(64, "siphash", False)
+        assert math.isfinite(qps) and qps > 0
+        cpu = CpuBackend()
+        assert qps == pytest.approx(8 / cpu.model_latency_s(8, 64, "siphash"))
+        assert model.drain_s(100, 64, "siphash", False) > 0.0
 
     def test_validation(self):
         with pytest.raises(ValueError, match="flush_batch"):

@@ -11,9 +11,10 @@ import asyncio
 import numpy as np
 import pytest
 
+from repro.baselines import CpuBackend
 from repro.dpf import gen
 from repro.crypto import get_prf
-from repro.exec import EvalRequest, SingleGpuBackend
+from repro.exec import EvalRequest, HybridBackend, SingleGpuBackend
 from repro.gpu import Scheduler
 from repro.gpu.device import A100, V100
 from repro.pir import PirClient, PirServer
@@ -121,6 +122,76 @@ class TestDispatch:
         loop, got = asyncio.run(run())
         assert got == sequential
         assert sum(loop.stats.routes.values()) == loop.stats.batches
+
+
+class _RejectingPlanBackend(SingleGpuBackend):
+    """A fleet member whose model rejects every shape as infeasible."""
+
+    def plan(self, request):
+        raise ValueError("no feasible strategy for this shape")
+
+    def model_latency_s(self, *args, **kwargs):
+        raise ValueError("no feasible strategy for this shape")
+
+
+class TestHeterogeneousCpuFleet:
+    """CPU entries in the fleet mix: priced by the same virtual clocks,
+    answering bit-identically, and closing the infeasible-shape hole."""
+
+    def test_cpu_label_comes_from_the_spec(self):
+        fleet = FleetScheduler([SingleGpuBackend(V100), CpuBackend()])
+        assert any("xeon" in label for label in fleet.labels)
+
+    def test_dispatch_through_a_cpu_entry_is_bit_identical(self):
+        request = _request(batch=3, seed=9)
+        direct = SingleGpuBackend(V100).run(
+            EvalRequest(keys=request.keys, prf_name="siphash")
+        )
+        fleet = FleetScheduler([CpuBackend()])
+        result, decision = fleet.dispatch(request)
+        assert np.array_equal(result.answers, direct.answers)
+        assert decision.plan.backend == "cpu"
+
+    def test_mixed_cpu_gpu_fleet_loads_both_sides(self):
+        """Virtual clocks spill work onto the CPU when the GPU is busy:
+        over a stream, both entries serve."""
+        fleet = FleetScheduler([SingleGpuBackend(V100), CpuBackend()])
+        for i in range(12):
+            fleet.route(_request(batch=2, domain=256, prf="aes128", seed=i))
+        assert all(count > 0 for count in fleet.route_counts)
+
+    def test_route_skips_members_that_cannot_plan(self):
+        fleet = FleetScheduler([_RejectingPlanBackend(), CpuBackend()])
+        decision = fleet.route(_request(batch=2, seed=3))
+        assert decision.backend_index == 1
+        assert fleet.route_counts == [0, 1]
+
+    def test_route_raises_when_no_member_can_plan(self):
+        fleet = FleetScheduler([_RejectingPlanBackend()])
+        with pytest.raises(ValueError, match="no backend in the fleet"):
+            fleet.route(_request(batch=2, seed=3))
+
+    def test_model_latency_skips_infeasible_members(self):
+        cpu = CpuBackend()
+        fleet = FleetScheduler([_RejectingPlanBackend(), cpu])
+        latency = fleet.model_latency_s(8, 64, prf_name="siphash")
+        assert latency == pytest.approx(cpu.model_latency_s(8, 64, "siphash"))
+        with pytest.raises(ValueError, match="no backend in the fleet"):
+            FleetScheduler([_RejectingPlanBackend()]).model_latency_s(
+                8, 64, prf_name="siphash"
+            )
+
+    def test_hybrid_backend_drops_into_the_fleet(self):
+        """A HybridBackend is itself a routable fleet member."""
+        hybrid = HybridBackend([CpuBackend(), SingleGpuBackend(V100)])
+        fleet = FleetScheduler([hybrid])
+        result, decision = fleet.dispatch(_request(batch=3, seed=21))
+        direct = SingleGpuBackend(V100).run(
+            EvalRequest(keys=_request(batch=3, seed=21).keys, prf_name="siphash")
+        )
+        assert "hybrid" in decision.backend_label
+        assert result.plan.backend == "hybrid"
+        assert np.array_equal(result.answers, direct.answers)
 
 
 class TestSchedulerCostHook:

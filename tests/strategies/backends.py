@@ -8,11 +8,19 @@ once instead of silently missing a copy-pasted dict.
 
 from __future__ import annotations
 
-from repro.exec import MultiGpuBackend, SimulatedBackend, SingleGpuBackend
+from repro.baselines import CpuBackend
+from repro.exec import (
+    HybridBackend,
+    MultiGpuBackend,
+    SimulatedBackend,
+    SingleGpuBackend,
+)
 from repro.gpu import V100
 
 BACKEND_FACTORIES = {
     "single_gpu": lambda: SingleGpuBackend(),
     "multi_gpu": lambda: MultiGpuBackend([V100, V100]),
     "simulated": lambda: SimulatedBackend(),
+    "cpu": lambda: CpuBackend(),
+    "hybrid": lambda: HybridBackend([CpuBackend(), SingleGpuBackend(V100)]),
 }

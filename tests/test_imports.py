@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.pir",
     "repro.serve",
     "repro.bench",
+    "repro.baselines",
 ]
 
 
