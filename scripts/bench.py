@@ -172,6 +172,12 @@ def main(argv: list[str] | None = None) -> int:
                 )
             if r.procs:
                 line += f" procs={r.procs}"
+            if r.stage_p99_ms:
+                stages = " ".join(
+                    f"{stage}={p99:.2f}"
+                    for stage, p99 in r.stage_p99_ms.items()
+                )
+                line += f"\n{'':14s}stage p99 ms: {stages}"
         if r.strategy == BACKEND_SELECT:
             line += f"  backend={r.backend} (modeled)"
         print(line)

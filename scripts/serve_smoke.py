@@ -48,6 +48,20 @@ crossover.  Second, a mixed CPU+GPU :class:`repro.serve.FleetScheduler`
 session asserts both the GPU member and the CPU member actually served
 fused batches (virtual-clock spillover), still bit-exact.
 
+With ``--trace`` the smoke turns the observability stack on and runs
+two chaos sessions under one live :class:`repro.obs.Tracer` + shared
+:class:`repro.obs.MetricsRegistry`: the mixed-fleet backend-kill
+session (both devices die on their first dispatch, every query must be
+retried to an answer) and the sharded replica-kill session (replica 0
+of every shard dies permanently, in-flight batches fail over to the
+surviving siblings).  On top of the usual bit-exactness checks it
+asserts *every* answered query carries a complete, orphan-free span
+chain (``chain_problems`` returns nothing), retried queries carry
+``retry`` events, and failed-over queries carry ``failover``
+annotations from the shard layer.  The session's traces and registry
+snapshots are exported to ``obs_smoke.jsonl`` for
+``scripts/obs_report.py`` to render.
+
 Exit status is the assertion outcome, so this is runnable as a bare CI
 step with only numpy installed:
 
@@ -57,6 +71,7 @@ step with only numpy installed:
     PYTHONPATH=src python scripts/serve_smoke.py --shards 3 --chaos
     PYTHONPATH=src python scripts/serve_smoke.py --steady
     PYTHONPATH=src python scripts/serve_smoke.py --hybrid
+    PYTHONPATH=src python scripts/serve_smoke.py --trace
 """
 
 from __future__ import annotations
@@ -71,6 +86,12 @@ import numpy as np  # noqa: E402
 
 from repro.baselines import CpuBackend  # noqa: E402
 from repro.exec import HybridBackend, PlanCache, SingleGpuBackend  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MetricsRegistry,
+    Tracer,
+    chain_problems,
+    write_jsonl,
+)
 from repro.gpu.device import A100, V100  # noqa: E402
 from repro.pir import PirClient, PirServer  # noqa: E402
 from repro.serve import (  # noqa: E402
@@ -372,12 +393,169 @@ def run_hybrid() -> int:
     return 0
 
 
+def run_traced(export_path: str = "obs_smoke.jsonl") -> int:
+    """The traced chaos sessions: every answer must have a span chain.
+
+    Both parties of both sessions share one tracer and one metrics
+    registry (per-loop views register under unique names), so the
+    export is a single file covering the whole smoke.  Each logical
+    query is submitted to both parties, so a session with N clients
+    must finish exactly 2N answered traces.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer(metrics=registry)
+    all_traces = []
+
+    # -- part one: mixed V100+A100 fleet, both devices killed on their
+    #    first dispatch, every query retried to a bit-exact answer.
+    rng = np.random.default_rng(2024)
+    table = rng.integers(0, 1 << 64, size=TABLE_ENTRIES, dtype=np.uint64)
+    indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
+    client = PirClient(TABLE_ENTRIES, PRF, rng=np.random.default_rng(7))
+
+    async def fleet_session():
+        loops = [
+            AsyncPirServer(
+                PirServer(table, prf_name=PRF),
+                slo=SloConfig(max_batch=8, max_wait_s=5e-3),
+                fleet=FleetScheduler(
+                    flaky_fleet(
+                        [SingleGpuBackend(V100), SingleGpuBackend(A100)],
+                        [FaultPlan.nth(1), FaultPlan.nth(1)],
+                    )
+                ),
+                retry=RetryPolicy(max_attempts=3),
+                tracer=tracer,
+                metrics=registry,
+                snapshot_every_s=2e-3,
+            )
+            for _ in range(2)
+        ]
+        async with loops[0], loops[1]:
+            report = await generate_load(client, loops, indices)
+        return report, loops
+
+    report, loops = asyncio.run(fleet_session())
+    assert report.shed == 0, f"admission control shed {report.shed} queries"
+    assert report.answered == CLIENTS, (
+        f"answered {report.answered} of {CLIENTS} queries"
+    )
+    assert np.array_equal(report.answers, table[np.array(report.indices)]), (
+        "traced chaos answers diverged from the table — tracing must "
+        "never change the computation"
+    )
+    traces = tracer.drain()
+    answered = [t for t in traces if t.status == "answered"]
+    assert len(answered) == len(traces) == 2 * CLIENTS, (
+        f"expected {2 * CLIENTS} answered traces (one per query per "
+        f"party), got {len(answered)} answered of {len(traces)} total"
+    )
+    broken = {t.trace_id: chain_problems(t) for t in answered if chain_problems(t)}
+    assert not broken, f"incomplete span chains after retry: {broken}"
+    retried_traces = [t for t in answered if "retry" in t.event_names()]
+    total_retried = sum(loop.stats.retried for loop in loops)
+    assert total_retried > 0 and retried_traces, (
+        f"the injected faults never forced a retry "
+        f"(stats={total_retried}, traces={len(retried_traces)})"
+    )
+    all_traces.extend(traces)
+    print(
+        f"traced fleet chaos ok: {len(answered)} complete span chains, "
+        f"{len(retried_traces)} with retry events "
+        f"(stats.retried={total_retried})"
+    )
+
+    # -- part two: sharded 2x2, replica 0 of every shard killed for
+    #    good; failed-over queries must carry failover annotations.
+    shards = 2
+    indices = rng.integers(0, TABLE_ENTRIES, size=CLIENTS).tolist()
+    client = PirClient(TABLE_ENTRIES, PRF, rng=np.random.default_rng(11))
+
+    def replica_backend(shard: int, replica: int):
+        inner = SingleGpuBackend(A100 if replica else V100)
+        if replica == 0:
+            return FlakyBackend(inner, FaultPlan.after(1))
+        return inner
+
+    servers = [
+        ShardedPirServer(
+            table,
+            shards=shards,
+            replicas=2,
+            backend_factory=replica_backend,
+            retry=RetryPolicy(max_attempts=2),
+            rejoin_after=None,
+            prf_name=PRF,
+        )
+        for _ in range(2)
+    ]
+
+    async def sharded_session():
+        loops = [
+            AsyncPirServer(
+                server,
+                slo=SloConfig(max_batch=8, max_wait_s=5e-3),
+                retry=RetryPolicy(max_attempts=3),
+                tracer=tracer,
+                metrics=registry,
+                snapshot_every_s=2e-3,
+            )
+            for server in servers
+        ]
+        async with loops[0], loops[1]:
+            report = await generate_load(client, loops, indices)
+        return report, loops
+
+    report, loops = asyncio.run(sharded_session())
+    assert report.shed == 0, f"admission control shed {report.shed} queries"
+    assert report.answered == CLIENTS, (
+        f"answered {report.answered} of {CLIENTS} queries"
+    )
+    assert np.array_equal(report.answers, table[np.array(report.indices)]), (
+        "traced sharded answers diverged from the table"
+    )
+    traces = tracer.drain()
+    answered = [t for t in traces if t.status == "answered"]
+    assert len(answered) == len(traces) == 2 * CLIENTS, (
+        f"expected {2 * CLIENTS} answered traces, got {len(answered)} "
+        f"answered of {len(traces)} total"
+    )
+    broken = {t.trace_id: chain_problems(t) for t in answered if chain_problems(t)}
+    assert not broken, f"incomplete span chains after failover: {broken}"
+    failed_over = [t for t in answered if "failover" in t.event_names()]
+    total_failovers = sum(s.stats_totals().failovers for s in servers)
+    assert total_failovers > 0 and failed_over, (
+        f"the replica kills never caught a batch in flight "
+        f"(stats={total_failovers}, traces={len(failed_over)})"
+    )
+    all_traces.extend(traces)
+    print(
+        f"traced sharded chaos ok: {len(answered)} complete span chains, "
+        f"{len(failed_over)} with failover annotations "
+        f"(stats.failovers={total_failovers})"
+    )
+
+    records = write_jsonl(export_path, traces=all_traces, registry=registry)
+    print(
+        f"serve-smoke (trace) ok: {len(all_traces)} traces, zero orphaned "
+        f"spans; exported {records} records -> {export_path}"
+    )
+    return 0
+
+
 def main(
     chaos: bool = False,
     shards: int = 0,
     steady: bool = False,
     hybrid: bool = False,
+    traced: bool = False,
 ) -> int:
+    if traced:
+        if chaos or shards or steady or hybrid:
+            raise SystemExit(
+                "--trace does not combine with other session flags"
+            )
+        return run_traced()
     if hybrid:
         if chaos or shards or steady:
             raise SystemExit(
@@ -492,5 +670,6 @@ if __name__ == "__main__":
             shards=_parse_shards(sys.argv[1:]),
             steady="--steady" in sys.argv[1:],
             hybrid="--hybrid" in sys.argv[1:],
+            traced="--trace" in sys.argv[1:],
         )
     )

@@ -17,6 +17,7 @@ setup(
         "repro.dpf",
         "repro.exec",
         "repro.gpu",
+        "repro.obs",
         "repro.pir",
         "repro.serve",
     ],

@@ -27,7 +27,7 @@ import dataclasses
 import json
 import platform
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -50,6 +50,7 @@ from repro.gpu import (
     available_strategies,
     get_strategy,
 )
+from repro.obs import MetricsRegistry, Tracer, chain_problems
 from repro.pir import PirClient, PirServer
 from repro.serve import (
     BATCH,
@@ -198,8 +199,15 @@ device); ``hybrid`` is a :class:`~repro.exec.HybridBackend` routing
 between those two by modeled crossover.
 """
 
-SCHEMA_VERSION = 9
-"""Bumped to 9 with hybrid CPU/GPU execution: the
+SCHEMA_VERSION = 10
+"""Bumped to 10 with end-to-end request tracing: :data:`SERVING` rows
+grow ``stage_p50_ms`` / ``stage_p99_ms`` — per-pipeline-stage latency
+percentiles (admit/queue/merge/plan/dispatch/demux, in milliseconds)
+extracted from the reported session's ``stage.*`` trace histograms
+(:mod:`repro.obs`) — and serving verification additionally asserts
+that every answered query's trace is a complete, orphan-free span
+chain.  Empty dicts on every non-serving family.  Schema 9 added
+hybrid CPU/GPU execution: the
 :data:`BACKEND_SELECT` family (Figure 10 — CPU baseline vs V100 model
 vs cost-model-routed hybrid at every grid shape, answers verified
 bit-exact before pricing) and the ``backend`` axis on cases and
@@ -321,7 +329,12 @@ class BenchResult:
     the steady-state axes, and ``plan_cache_hits`` /
     ``plan_cache_misses`` / ``overlap_flushes`` sum the reported
     sessions' serving-loop counters (nonzero only for
-    ``plan_cache=True`` rows).  All are meaningful for :data:`SERVING`
+    ``plan_cache=True`` rows).  ``stage_p50_ms`` / ``stage_p99_ms``
+    map pipeline stage name (admit/queue/merge/plan/dispatch/demux) to
+    that stage's latency percentile in milliseconds across the
+    reported session's traced queries — the schema-10 per-stage timing
+    columns (empty dicts on non-serving families).  All are meaningful
+    for :data:`SERVING`
     rows and 0/"" elsewhere.  ``backend`` echoes the
     :data:`BACKEND_SELECT` axis ("" for every other family); for those
     rows ``seconds`` is the backend's *modeled* per-batch latency (see
@@ -361,6 +374,8 @@ class BenchResult:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     overlap_flushes: int = 0
+    stage_p50_ms: dict = field(default_factory=dict)
+    stage_p99_ms: dict = field(default_factory=dict)
     backend: str = ""
 
 
@@ -409,6 +424,8 @@ def _result(
     plan_cache_hits: int = 0,
     plan_cache_misses: int = 0,
     overlap_flushes: int = 0,
+    stage_p50_ms: dict | None = None,
+    stage_p99_ms: dict | None = None,
 ) -> BenchResult:
     return BenchResult(
         prf=case.prf,
@@ -443,6 +460,8 @@ def _result(
         plan_cache_hits=plan_cache_hits,
         plan_cache_misses=plan_cache_misses,
         overlap_flushes=overlap_flushes,
+        stage_p50_ms=stage_p50_ms if stage_p50_ms is not None else {},
+        stage_p99_ms=stage_p99_ms if stage_p99_ms is not None else {},
         backend=case.backend,
     )
 
@@ -697,6 +716,11 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
                 "plan_cache_misses": 0,
                 "overlap_flushes": 0,
             }
+            # One registry + tracer per session, shared by both
+            # parties' loops: every query's spans feed the stage.*
+            # histograms the schema-10 per-stage columns are cut from.
+            registry = MetricsRegistry()
+            tracer = Tracer(metrics=registry)
 
             async def run():
                 loops = [
@@ -707,6 +731,7 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
                         qos=qos_policy,
                         retry=RetryPolicy(max_attempts=3),
                         overlap=case.plan_cache,
+                        tracer=tracer,
                     )
                     for server in servers
                 ]
@@ -732,7 +757,22 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
                     health["retries"] += totals.retries
                     health["ejections"] += totals.ejections
                     health["failovers"] += totals.failovers
-            return report, {**health, **counters}
+            answered = [
+                t for t in tracer.drain() if t.status == "answered"
+            ]
+            trace_info = {
+                "answered_traces": len(answered),
+                "trace_problems": sum(
+                    len(chain_problems(t)) for t in answered
+                ),
+                "stage_p50_ms": {},
+                "stage_p99_ms": {},
+            }
+            for name, hist in sorted(registry.histograms("stage.").items()):
+                stage = name[len("stage."):]
+                trace_info["stage_p50_ms"][stage] = hist.quantile(0.50) * 1e3
+                trace_info["stage_p99_ms"][stage] = hist.quantile(0.99) * 1e3
+            return report, {**health, **counters, **trace_info}
         finally:
             for pool in pools:
                 pool.close()
@@ -766,6 +806,16 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
             # the loop-visible front-end cache never sees.
             raise ValueError(
                 f"plan_cache row recorded no cache lookups for {case}"
+            )
+        # Chain integrity: every answered query's trace must be a
+        # complete, orphan-free admit→demux span chain — through
+        # fusion, chaos retries, sharded failover, the lot.
+        if not health["answered_traces"]:
+            raise ValueError(f"traced session recorded no finished traces for {case}")
+        if health["trace_problems"]:
+            raise ValueError(
+                f"{health['trace_problems']} span-chain problems across "
+                f"{health['answered_traces']} answered traces for {case}"
             )
         verified = True
 
@@ -804,6 +854,8 @@ def _run_serving_case(case: BenchCase, verify: bool) -> BenchResult:
         plan_cache_hits=best_health["plan_cache_hits"],
         plan_cache_misses=best_health["plan_cache_misses"],
         overlap_flushes=best_health["overlap_flushes"],
+        stage_p50_ms=best_health["stage_p50_ms"],
+        stage_p99_ms=best_health["stage_p99_ms"],
     )
 
 

@@ -84,6 +84,16 @@ class PlanCacheStats:
         """Hits over lookups; 0.0 before any lookup."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-ready counters — the metrics-registry view shape."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
 
 @dataclass
 class _Entry:

@@ -60,6 +60,18 @@ class EvalRequest:
             kernels expand whole subtrees; the reference
             :func:`repro.dpf.dpf.eval_range` walk is genuinely
             restricted).
+        traces: Optional per-constituent trace contexts
+            (:class:`repro.obs.trace.TraceContext`), one slot per
+            merge constituent — ``None`` (the default, and the
+            disabled-tracing fast path) means untraced.  A request
+            fresh from a client carries one slot; :meth:`merge`
+            concatenates the constituents' slots so deep layers
+            (shard fan-out, replica failover) can annotate exactly
+            the queries they acted on via
+            :func:`repro.obs.trace.annotate_request`, and
+            :meth:`unmerge` hands each slice its own slot back.
+            Excluded from ``repr``/comparison — tracing never changes
+            what a request *is*.
     """
 
     keys: KeySource
@@ -68,6 +80,7 @@ class EvalRequest:
     resident: bool = False
     slo_latency_s: float | None = None
     eval_range: tuple[int, int] | None = None
+    traces: tuple | None = field(default=None, repr=False, compare=False)
     _arena: KeyArena | None = field(default=None, repr=False, compare=False)
 
     def arena(self) -> KeyArena:
@@ -121,6 +134,7 @@ class EvalRequest:
             resident=self.resident,
             slo_latency_s=self.slo_latency_s,
             eval_range=(lo, hi),
+            traces=self.traces,
             _arena=self.arena(),
         )
         request.resolved_range()
@@ -150,6 +164,7 @@ class EvalRequest:
             resident=self.resident,
             slo_latency_s=self.slo_latency_s,
             eval_range=self.eval_range,
+            traces=self.traces,
             _arena=grown,
         )
 
@@ -208,6 +223,15 @@ class EvalRequest:
                 )
         arenas = [request.arena() for request in requests]
         slos = [r.slo_latency_s for r in requests if r.slo_latency_s is not None]
+        # One trace slot per constituent: a single-query request
+        # contributes its context, anything else (untraced, or itself
+        # already merged) contributes None — never misattributed.
+        trace_slots = tuple(
+            request.traces[0]
+            if request.traces is not None and len(request.traces) == 1
+            else None
+            for request in requests
+        )
         merged = cls(
             keys=KeyArena.concat(arenas),
             prf_name=first.prf_name,
@@ -215,6 +239,7 @@ class EvalRequest:
             resident=first.resident,
             slo_latency_s=min(slos) if slos else None,
             eval_range=first.eval_range,
+            traces=trace_slots if any(t is not None for t in trace_slots) else None,
         )
         return merged, tuple(arena.batch for arena in arenas)
 
@@ -253,9 +278,18 @@ class EvalRequest:
                 f"slice sizes sum to {sum(sizes)} but the merged arena "
                 f"carries {arena.batch} keys"
             )
+        # Hand each slice its own trace slot back — but only when the
+        # merged slots align 1:1 with the requested slices (they always
+        # do on the serving loop's unmerge path; any other split gets
+        # untraced slices rather than misattributed contexts).
+        slots: Sequence = (
+            merged.traces
+            if merged.traces is not None and len(merged.traces) == len(sizes)
+            else (None,) * len(sizes)
+        )
         requests = []
         offset = 0
-        for size in sizes:
+        for size, slot in zip(sizes, slots):
             requests.append(
                 cls(
                     keys=arena[offset : offset + size],
@@ -264,6 +298,7 @@ class EvalRequest:
                     resident=merged.resident,
                     slo_latency_s=merged.slo_latency_s,
                     eval_range=merged.eval_range,
+                    traces=(slot,) if slot is not None else None,
                 )
             )
             offset += size

@@ -322,6 +322,10 @@ class HybridBackend(ExecutionBackend):
             counts[device_class] = counts.get(device_class, 0) + count
         return counts
 
+    def snapshot(self) -> dict:
+        """JSON-ready routing state — the metrics-registry view shape."""
+        return {"routes": self.routing_counts(), "classes": self.class_counts()}
+
     # -- the backend contract ------------------------------------------
 
     def plan(self, request: EvalRequest) -> ExecutionPlan:

@@ -1,0 +1,74 @@
+"""repro.obs — end-to-end request tracing + unified metrics registry.
+
+The observability substrate for the serving stack: span-based per-query
+tracing that survives batch fusion, retry, shard fan-out, and replica
+failover (:mod:`repro.obs.trace`); a registry of counters, gauges, and
+fixed-bucket latency histograms that absorbs every subsystem's ad-hoc
+stats as registered views (:mod:`repro.obs.metrics`); JSONL export
+(:mod:`repro.obs.export`) and report rendering
+(:mod:`repro.obs.report`).  The disabled-mode default
+(:data:`NULL_TRACER`) costs a handful of no-op calls per query.
+"""
+
+from .export import metrics_record, read_jsonl, trace_record, write_jsonl
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from .report import render_report, slowest_traces, stage_breakdown
+from .trace import (
+    NULL_TRACER,
+    REQUIRED_STAGES,
+    RETRY_STAGES,
+    STAGE_ADMIT,
+    STAGE_DEMUX,
+    STAGE_DISPATCH,
+    STAGE_MERGE,
+    STAGE_PLAN,
+    STAGE_QUEUE,
+    TRACE_OPS_PER_QUERY,
+    TRACE_STATUSES,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    annotate_request,
+    chain_problems,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "REQUIRED_STAGES",
+    "RETRY_STAGES",
+    "STAGE_ADMIT",
+    "STAGE_DEMUX",
+    "STAGE_DISPATCH",
+    "STAGE_MERGE",
+    "STAGE_PLAN",
+    "STAGE_QUEUE",
+    "Span",
+    "TRACE_OPS_PER_QUERY",
+    "TRACE_STATUSES",
+    "TraceContext",
+    "Tracer",
+    "annotate_request",
+    "chain_problems",
+    "default_latency_buckets",
+    "metrics_record",
+    "read_jsonl",
+    "render_report",
+    "slowest_traces",
+    "stage_breakdown",
+    "trace_record",
+    "write_jsonl",
+]

@@ -222,6 +222,16 @@ class QosPolicy:
             self._buckets[tenant] = bucket
         return bucket.try_take(count, now)
 
+    def bucket_levels(self) -> dict:
+        """Remaining tokens per rate-limited tenant — the metrics-
+        registry view shape.  Only tenants that have submitted traffic
+        appear (buckets are created on first use); the anonymous
+        tenant reports under ``"<anonymous>"``."""
+        return {
+            tenant if tenant is not None else "<anonymous>": bucket.tokens
+            for tenant, bucket in self._buckets.items()
+        }
+
 
 class DrainTimeModel:
     """Predicted time to drain a pending queue, from the cost model.

@@ -139,6 +139,18 @@ class FleetScheduler:
         decision = self.route(request)
         return self.backends[decision.backend_index].run(request), decision
 
+    def snapshot(self) -> dict:
+        """JSON-ready routing state — the metrics-registry view shape.
+
+        Per-label batch counts plus each member's virtual-clock busy
+        time (what the router balances), keyed by the same stable
+        labels ``ServingStats.routes`` uses.
+        """
+        return {
+            "routes": dict(zip(self.labels, self.route_counts)),
+            "busy_s": dict(zip(self.labels, self._busy_s)),
+        }
+
     def model_latency_s(
         self,
         batch_size: int,

@@ -60,6 +60,23 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exec.request import EvalRequest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    STAGE_ADMIT,
+    STAGE_DEMUX,
+    STAGE_DISPATCH,
+    STAGE_MERGE,
+    STAGE_PLAN,
+    STAGE_QUEUE,
+    STATUS_ANSWERED,
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    Span,
+    TraceContext,
+)
 from repro.pir.server import PirServer
 from repro.pir.wire import PirQuery, PirReply
 from repro.serve.control import (
@@ -260,10 +277,12 @@ class ServingStats:
             :data:`FLUSH_DEADLINE` / :data:`FLUSH_DRAIN`).
         routes: Dispatch counts keyed by fleet backend label (only
             populated when a fleet scheduler is attached).
-        plan_cache_hits: The wrapped server's plan-cache hits so far
-            (mirrored from ``server.plan_cache.stats`` after each
-            flush; 0 when no cache is attached).
-        plan_cache_misses: Plan-cache misses, mirrored the same way.
+        plan_cache_stats: The wrapped server's live
+            :class:`~repro.exec.plan_cache.PlanCacheStats` (bound at
+            loop construction when the server carries a cache; ``None``
+            otherwise).  ``plan_cache_hits`` / ``plan_cache_misses``
+            read *through* this binding, so they are live at any
+            instant — not a mirror synced after each flush.
         overlap_flushes: Flushes whose expansion overlapped with new
             submissions — at least one query was parsed/enqueued while
             the batch ran in the dispatch thread.  Nonzero proves the
@@ -282,14 +301,51 @@ class ServingStats:
     largest_batch: int = 0
     flushes: dict[str, int] = field(default_factory=dict)
     routes: dict[str, int] = field(default_factory=dict)
-    plan_cache_hits: int = 0
-    plan_cache_misses: int = 0
+    plan_cache_stats: "PlanCacheStats | None" = field(
+        default=None, repr=False, compare=False
+    )
     overlap_flushes: int = 0
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Live plan-cache hits (0 when no cache is attached).
+
+        Reads the cache's own counter at access time, so the value is
+        current even mid-flush — the stale-between-flushes mirror this
+        replaced only updated after each dispatch.
+        """
+        return self.plan_cache_stats.hits if self.plan_cache_stats is not None else 0
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Live plan-cache misses (0 when no cache is attached)."""
+        return self.plan_cache_stats.misses if self.plan_cache_stats is not None else 0
 
     @property
     def mean_batch(self) -> float:
         """Average fused-batch size — the aggregation win in one number."""
         return self.answered / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters — the metrics-registry view shape."""
+        return {
+            "submitted": self.submitted,
+            "answered": self.answered,
+            "shed": self.shed,
+            "shed_reasons": dict(self.shed_reasons),
+            "retried": self.retried,
+            "failed": self.failed,
+            "failures": dict(self.failures),
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch": self.mean_batch,
+            "flushes": dict(self.flushes),
+            "routes": dict(self.routes),
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "overlap_flushes": self.overlap_flushes,
+        }
 
 
 @dataclass(eq=False)
@@ -309,6 +365,10 @@ class _Pending:
     attempts: int = 0
     backoff_used_s: float = 0.0
     not_before: float = 0.0
+    # Tracing: the query's trace context (a no-op singleton when
+    # tracing is off) and its currently-open queue-wait span.
+    ctx: TraceContext = field(default_factory=NULL_TRACER.trace)
+    queue_span: Span | None = None
 
 
 class AsyncPirServer:
@@ -343,6 +403,26 @@ class AsyncPirServer:
             time.  Off by default: deterministic tests drive the loop
             with fake clocks and expect strictly sequential dispatch.
         clock: Monotonic time source (injectable for tests).
+        tracer: Optional :class:`~repro.obs.trace.Tracer`.  When given,
+            every submitted query gets a trace context whose spans
+            (admit → queue → merge → plan → dispatch → demux) follow it
+            through batch fusion, retry, shard fan-out and failover;
+            finished traces land in ``tracer.finished``.  The default
+            is the no-op :data:`~repro.obs.trace.NULL_TRACER` — a
+            handful of empty method calls per query, nothing allocated,
+            nothing attached to requests.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+            When given, the loop registers every subsystem it can see
+            as a view — its own :class:`ServingStats`, the server's
+            plan cache and shard totals (duck-typed), the hybrid
+            backend's routing counts, fleet routes, QoS bucket levels —
+            so one ``metrics.snapshot()`` is the whole system's state.
+            Pair it with the tracer (``Tracer(metrics=registry)``) to
+            get per-stage latency histograms too.
+        snapshot_every_s: Optional period for recording registry
+            snapshots from the aggregation task (requires ``metrics``);
+            a final snapshot is recorded at drain.  ``None`` (default)
+            records only on demand.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`stop` explicitly::
@@ -361,6 +441,9 @@ class AsyncPirServer:
         retry: RetryPolicy | None = None,
         overlap: bool = False,
         clock: Callable[[], float] = time.monotonic,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+        snapshot_every_s: float | None = None,
     ):
         self.server = server
         self.slo = slo if slo is not None else SloConfig()
@@ -370,7 +453,22 @@ class AsyncPirServer:
         self.retry = retry if retry is not None else RetryPolicy()
         self.overlap = overlap
         self._executor: ThreadPoolExecutor | None = None
-        self.stats = ServingStats()
+        cache = getattr(server, "plan_cache", None)
+        self.stats = ServingStats(
+            plan_cache_stats=cache.stats if cache is not None else None
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        if snapshot_every_s is not None and snapshot_every_s <= 0:
+            raise ValueError(
+                f"snapshot_every_s must be positive or None, got {snapshot_every_s}"
+            )
+        if snapshot_every_s is not None and metrics is None:
+            raise ValueError("snapshot_every_s requires a metrics registry")
+        self.snapshot_every_s = snapshot_every_s
+        self._next_snapshot_s: float | None = None
+        if metrics is not None:
+            self._register_views(metrics)
         self._clock = clock
         self._drain_model = DrainTimeModel(
             [fleet if fleet is not None else server.backend],
@@ -387,6 +485,35 @@ class AsyncPirServer:
         self._task: asyncio.Task | None = None
         self._stopping = False
 
+    def _register_views(self, metrics: MetricsRegistry) -> None:
+        """Absorb every reachable ad-hoc counter bundle as a view.
+
+        Duck-typed on purpose: the loop serves plain, sharded, pooled
+        and hybrid servers through one seam, so it discovers what the
+        wrapped stack can report rather than knowing its type.  Names
+        are uniquified so two loops (the protocol's two parties) can
+        share one registry.
+        """
+        metrics.register_view(metrics.unique_name("serving"), self.stats.as_dict)
+        cache = getattr(self.server, "plan_cache", None)
+        if cache is not None:
+            metrics.register_view(
+                metrics.unique_name("plan_cache"), cache.stats.as_dict
+            )
+        totals = getattr(self.server, "stats_totals", None)
+        if callable(totals):
+            metrics.register_view(
+                metrics.unique_name("shards"), lambda: totals().as_dict()
+            )
+        backend = getattr(self.server, "backend", None)
+        snapshot = getattr(backend, "snapshot", None)
+        if callable(snapshot) and hasattr(backend, "routing_counts"):
+            metrics.register_view(metrics.unique_name("hybrid"), snapshot)
+        if self.fleet is not None:
+            metrics.register_view(metrics.unique_name("fleet"), self.fleet.snapshot)
+        if self.qos is not None:
+            metrics.register_view(metrics.unique_name("qos"), self.qos.bucket_levels)
+
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
@@ -397,6 +524,8 @@ class AsyncPirServer:
         self._wake = asyncio.Event()
         if self.overlap and self._executor is None:
             self._executor = _acquire_dispatch_executor(asyncio.get_running_loop())
+        if self.snapshot_every_s is not None:
+            self._next_snapshot_s = self._clock() + self.snapshot_every_s
         self._task = asyncio.create_task(self._run())
 
     async def stop(self) -> None:
@@ -512,12 +641,41 @@ class AsyncPirServer:
             raise RuntimeError("serving loop is stopped; no flush would answer this")
         query = PirQuery.from_bytes(request_bytes)
         now = self._clock()
-        self._admit(query, tenant, now)
-        request = self.server.ingest_query(query)
+        ctx = self.tracer.trace(
+            request_id=query.request_id,
+            tenant=tenant,
+            count=query.count,
+            epoch=query.epoch,
+        )
+        admit_span = ctx.begin(STAGE_ADMIT)
+        try:
+            self._admit(query, tenant, now)
+            request = self.server.ingest_query(query)
+        except PirServerOverloaded as exc:
+            ctx.end(admit_span, shed=exc.reason)
+            ctx.event("shed", reason=exc.reason)
+            ctx.close(STATUS_SHED)
+            raise
+        except ValueError as exc:
+            ctx.end(admit_span, error=type(exc).__name__)
+            ctx.close(STATUS_REJECTED)
+            raise
+        ctx.end(admit_span)
+        if self.tracer.enabled:
+            # Thread the context through the request so fusion, shard
+            # fan-out and failover can annotate exactly this query.
+            request.traces = (ctx,)
         qos_class = self.qos.qos_class(tenant) if self.qos is not None else QOS_CLASSES[0]
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         pending = _Pending(
-            query, request, future, now, tenant=tenant, qos=qos_class
+            query,
+            request,
+            future,
+            now,
+            tenant=tenant,
+            qos=qos_class,
+            ctx=ctx,
+            queue_span=ctx.begin(STAGE_QUEUE),
         )
         self._queues[qos_class].append(pending)
         self._queued_queries += query.count
@@ -559,13 +717,25 @@ class AsyncPirServer:
             candidates.append(oldest.enqueued_at + self.slo.max_wait_s)
         if self._retrying:
             candidates.append(min(p.not_before for p in self._retrying))
+        if self._next_snapshot_s is not None:
+            candidates.append(self._next_snapshot_s)
         if not candidates:
             return None
         return max(0.0, min(candidates) - self._clock())
 
+    def _maybe_snapshot(self) -> None:
+        """Record a periodic registry snapshot when its time arrived."""
+        if self._next_snapshot_s is None:
+            return
+        now = self._clock()
+        if now >= self._next_snapshot_s:
+            self.metrics.record_snapshot()
+            self._next_snapshot_s = now + self.snapshot_every_s
+
     async def _run(self) -> None:
         while not self._stopping:
             self._promote_retries()
+            self._maybe_snapshot()
             reason = self._flush_reason()
             if reason is not None:
                 await self._flush(reason)
@@ -584,6 +754,11 @@ class AsyncPirServer:
             self._promote_retries(force=True)
             await self._flush(FLUSH_DRAIN)
             await self._settle()
+        if self._next_snapshot_s is not None:
+            # Terminal snapshot: the export always carries the drained
+            # end state, however the period fell against the session.
+            self.metrics.record_snapshot()
+            self._next_snapshot_s = None
 
     async def _settle(self) -> None:
         """Let answered callers resume before the next dispatch.
@@ -634,6 +809,7 @@ class AsyncPirServer:
                         self.stats.cancelled += pending.query.count
                         self._queued_queries -= pending.query.count
                         self._queued_arena_bytes -= pending.request.arena().nbytes
+                        self._close_cancelled(pending)
                     else:
                         kept.append(pending)
                 self._queues[qos_class] = kept
@@ -641,8 +817,17 @@ class AsyncPirServer:
         for pending in cancelled_retries:
             self.stats.cancelled += pending.query.count
             self._retry_queries -= pending.query.count
+            self._close_cancelled(pending)
         if cancelled_retries:
             self._retrying = [p for p in self._retrying if not p.future.done()]
+
+    @staticmethod
+    def _close_cancelled(pending: _Pending) -> None:
+        """End a purged pending's open queue span and close its trace."""
+        if pending.queue_span is not None:
+            pending.ctx.end(pending.queue_span, cancelled=True)
+            pending.queue_span = None
+        pending.ctx.close(STATUS_CANCELLED)
 
     def _take_order(self) -> list[str]:
         """Priority order for this batch: interactive first, unless the
@@ -691,6 +876,9 @@ class AsyncPirServer:
                     self._queued_queries -= count
                     return taken
                 taken.append(queue.popleft())
+                if nxt.queue_span is not None:
+                    nxt.ctx.end(nxt.queue_span, qos=nxt.qos)
+                    nxt.queue_span = None
                 epoch = nxt.query.epoch
                 count += nxt.query.count
                 taken_bytes += nxt_bytes
@@ -706,19 +894,33 @@ class AsyncPirServer:
         sizes: tuple[int, ...] = ()
         decision = None
         epoch = taken[0].query.epoch
+        # Stage spans open in lockstep across the batch: every taken
+        # query is in the same stage at the same time, so `open_spans`
+        # is the set to close (with the error) if the stage throws.
+        open_spans: list[tuple[_Pending, Span]] = []
         try:
+            open_spans = [(p, p.ctx.begin(STAGE_MERGE)) for p in taken]
             merged, sizes = EvalRequest.merge([p.request for p in taken])
+            for pending, span in open_spans:
+                pending.ctx.end(
+                    span, queries=int(sum(sizes)), requests=len(taken), reason=reason
+                )
             # One answer_request for the whole fused batch (the server's
             # overridable serving seam — a sharded server fans out and
             # recombines inside it), then per-request slicing: the
             # demux is row offsets, nothing recomputed.  Fleet routing
             # stays on the loop thread (it reads mutable queue state);
             # only the dispatch itself may move to the overlap thread.
+            open_spans = [(p, p.ctx.begin(STAGE_PLAN)) for p in taken]
             if self.fleet is not None:
                 decision = self.fleet.route(merged)
                 backend = self.fleet.backends[decision.backend_index]
+                for pending, span in open_spans:
+                    pending.ctx.end(span, backend=decision.backend_label)
             else:
                 backend = None
+                for pending, span in open_spans:
+                    pending.ctx.end(span)
 
             def dispatch() -> np.ndarray:
                 if backend is not None:
@@ -727,6 +929,7 @@ class AsyncPirServer:
                     )
                 return self.server.answer_request(merged, epoch=epoch, sizes=sizes)
 
+            open_spans = [(p, p.ctx.begin(STAGE_DISPATCH)) for p in taken]
             if self.overlap and self._executor is not None:
                 # Two-slot pipeline: while this batch expands on the
                 # dispatch thread, the event loop keeps parsing and
@@ -741,11 +944,16 @@ class AsyncPirServer:
                     self.stats.overlap_flushes += 1
             else:
                 answers = dispatch()
+            for pending, span in open_spans:
+                pending.ctx.end(span)
+            open_spans = []
         except Exception as exc:
+            # End the batch's in-flight stage spans with the error
+            # before containment — no trace leaves an orphan behind.
+            for pending, span in open_spans:
+                pending.ctx.end(span, error=type(exc).__name__)
             self._requeue_or_fail(taken, merged, sizes, exc)
-            self._sync_plan_cache_stats()
             return
-        self._sync_plan_cache_stats()
         self.stats.batches += 1
         self.stats.largest_batch = max(self.stats.largest_batch, int(answers.size))
         self.stats.flushes[reason] = self.stats.flushes.get(reason, 0) + 1
@@ -755,6 +963,7 @@ class AsyncPirServer:
             )
         offset = 0
         for pending, size in zip(taken, sizes):
+            span = pending.ctx.begin(STAGE_DEMUX)
             reply = PirReply(
                 request_id=pending.query.request_id,
                 answers=answers[offset : offset + size],
@@ -765,22 +974,13 @@ class AsyncPirServer:
                 # The caller cancelled while the batch was in flight;
                 # the work is sunk cost but must not count as answered.
                 self.stats.cancelled += size
+                pending.ctx.end(span, cancelled=True)
+                pending.ctx.close(STATUS_CANCELLED)
                 continue
             pending.future.set_result(reply)
             self.stats.answered += size
-
-    def _sync_plan_cache_stats(self) -> None:
-        """Mirror the wrapped server's plan-cache counters into stats.
-
-        The :class:`~repro.exec.PlanCache` owns the authoritative
-        counters (it is shared with synchronous callers); the serving
-        stats snapshot them after each flush so one ``stats`` object
-        tells the whole steady-state story.
-        """
-        cache = getattr(self.server, "plan_cache", None)
-        if cache is not None:
-            self.stats.plan_cache_hits = cache.stats.hits
-            self.stats.plan_cache_misses = cache.stats.misses
+            pending.ctx.end(span)
+            pending.ctx.close(STATUS_ANSWERED)
 
     def _requeue_or_fail(
         self,
@@ -804,6 +1004,7 @@ class AsyncPirServer:
         for pending, request in zip(taken, requests):
             if pending.future.done():
                 self.stats.cancelled += pending.query.count
+                pending.ctx.close(STATUS_CANCELLED)
                 continue
             pending.attempts += 1
             if self.retry.allows_retry(pending.attempts, pending.backoff_used_s):
@@ -811,9 +1012,22 @@ class AsyncPirServer:
                 pending.backoff_used_s += backoff
                 pending.not_before = now + backoff
                 pending.request = request
+                pending.ctx.event(
+                    "retry",
+                    attempt=pending.attempts,
+                    error=reason,
+                    backoff_s=backoff,
+                )
+                # The retry pen is a queue too: a fresh queue-wait span
+                # opens now and ends when the retry is re-taken, so the
+                # chain repeats the queue→merge→plan→dispatch group once
+                # per dispatch attempt.
+                pending.queue_span = pending.ctx.begin(STAGE_QUEUE)
                 self._retrying.append(pending)
                 self._retry_queries += pending.query.count
                 self.stats.retried += pending.query.count
             else:
                 pending.future.set_exception(exc)
+                pending.ctx.event("failed", error=reason)
+                pending.ctx.close(STATUS_FAILED)
                 self.stats.failed += pending.query.count

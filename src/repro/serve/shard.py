@@ -62,6 +62,7 @@ import numpy as np
 from repro.exec.backend import ExecutionBackend, SingleGpuBackend
 from repro.exec.plan_cache import PlanCache
 from repro.exec.request import EvalRequest
+from repro.obs.trace import annotate_request
 from repro.pir.server import PirServer
 from repro.serve.control import RetryPolicy
 
@@ -292,6 +293,17 @@ class ShardStats:
     rejoins: int = 0
     recoveries: int = 0
 
+    def as_dict(self) -> dict:
+        """JSON-ready counters — the metrics-registry view shape."""
+        return {
+            "batches": self.batches,
+            "retries": self.retries,
+            "ejections": self.ejections,
+            "failovers": self.failovers,
+            "rejoins": self.rejoins,
+            "recoveries": self.recoveries,
+        }
+
 
 class ReplicaSet:
     """R replicas of one shard: routing, health, retries, failover.
@@ -467,6 +479,15 @@ class ReplicaSet:
                 ):
                     raise _ReplicaExhausted() from exc
                 self.stats.retries += 1
+                # Annotate every query the faulted attempt carried
+                # (the restricted view shares the request's traces).
+                annotate_request(
+                    restricted,
+                    "shard_retry",
+                    shard=self.shard_index,
+                    attempt=attempts,
+                    error=type(exc).__name__,
+                )
 
     def answer(
         self,
@@ -517,6 +538,12 @@ class ReplicaSet:
                     self.shard_index, self.lo, self.hi
                 ) from cause
             self.stats.failovers += 1
+            # Mark the queries in the re-dispatched constituent: an
+            # un-merged part carries exactly its own trace slot, so the
+            # annotation lands on the queries that actually failed over.
+            annotate_request(
+                parts[len(partials)], "failover", shard=self.shard_index
+            )
             try:
                 partials.append(self._run_once(replica, parts[len(partials)], epoch))
                 self._record_success(replica)

@@ -1,0 +1,103 @@
+"""JSONL export/import: the round trip is lossless and fails loudly.
+
+An export is the session's evidence — `scripts/obs_report.py` and the
+CI chain checks both read it back, so a trace must survive write/read
+byte-identically (as its dict form) and a truncated or corrupted file
+must raise, never silently drop the tail.
+"""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    STAGE_ADMIT,
+    STAGE_DEMUX,
+    MetricsRegistry,
+    Tracer,
+    chain_problems,
+    read_jsonl,
+    write_jsonl,
+)
+
+from tests.obs.test_trace import FakeClock, _complete_chain
+
+
+class TestRoundTrip:
+    def test_traces_and_snapshots_round_trip(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        finished = [_complete_chain(tracer) for _ in range(3)]
+        path = tmp_path / "session.jsonl"
+        count = write_jsonl(
+            path, traces=tracer.drain(), snapshots=[{"counters": {"served": 3}}]
+        )
+        assert count == 4
+        traces, snapshots = read_jsonl(path)
+        assert [t["trace_id"] for t in traces] == [c.trace_id for c in finished]
+        assert traces == [c.to_dict() for c in finished]
+        assert snapshots == [{"counters": {"served": 3}}]
+
+    def test_chain_checker_runs_on_reloaded_dicts(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        whole = _complete_chain(tracer)
+        broken = tracer.trace()
+        broken.end(broken.begin(STAGE_ADMIT))
+        broken.begin(STAGE_DEMUX)  # orphan
+        broken.close("answered")
+        path = tmp_path / "session.jsonl"
+        write_jsonl(path, traces=tracer.drain())
+        traces, _ = read_jsonl(path)
+        assert chain_problems(traces[0]) == []
+        assert whole.trace_id == traces[0]["trace_id"]
+        assert chain_problems(traces[1])  # the orphan survives the trip
+
+    def test_registry_appends_recorded_then_final_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("served").inc(1)
+        registry.record_snapshot()
+        registry.counter("served").inc(1)
+        path = tmp_path / "session.jsonl"
+        count = write_jsonl(path, registry=registry)
+        assert count == 2  # one recorded + one final live snapshot
+        _, snapshots = read_jsonl(path)
+        assert [s["counters"]["served"] for s in snapshots] == [1, 2]
+
+    def test_write_and_read_accept_open_handles(self):
+        tracer = Tracer(clock=FakeClock())
+        _complete_chain(tracer)
+        buffer = io.StringIO()
+        write_jsonl(buffer, traces=tracer.drain())
+        buffer.seek(0)
+        traces, snapshots = read_jsonl(buffer)
+        assert len(traces) == 1 and snapshots == []
+
+    def test_trace_dicts_pass_through_unchanged(self, tmp_path):
+        trace = _complete_chain(Tracer(clock=FakeClock())).to_dict()
+        path = tmp_path / "session.jsonl"
+        write_jsonl(path, traces=[trace])
+        traces, _ = read_jsonl(path)
+        assert traces == [trace]
+
+
+class TestFailureModes:
+    def test_malformed_line_raises_with_its_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "trace", "trace_id": 0}\n{truncated')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(path)
+
+    def test_unknown_kinds_are_skipped_for_forward_compat(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"kind": "profile", "data": 1}\n'
+            '{"kind": "metrics", "snapshot": {"counters": {}}}\n'
+        )
+        traces, snapshots = read_jsonl(path)
+        assert traces == []
+        assert snapshots == [{"counters": {}}]
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"kind": "metrics", "snapshot": {}}\n\n')
+        _, snapshots = read_jsonl(path)
+        assert snapshots == [{}]

@@ -1,0 +1,192 @@
+"""The metrics registry: instruments, views, and the quantile bound.
+
+The headline property is the histogram's: with fixed bucket bounds and
+no sample retention, ``quantile(q)`` must come back within one bucket
+width of the exact sample quantile — pinned here by a hypothesis
+property over random samples, alongside deterministic bucket-boundary
+cases (observations exactly on a bound, overflow, empty).
+"""
+
+import math
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments_and_rejects_decrease(self):
+        counter = Counter("served")
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_adds(self):
+        gauge = Gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.snapshot() == 1.5
+
+
+class TestHistogramBuckets:
+    def test_default_buckets_double_from_a_microsecond(self):
+        bounds = default_latency_buckets()
+        assert bounds == DEFAULT_LATENCY_BUCKETS
+        assert bounds[0] == 1e-6
+        assert all(b2 == 2 * b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_boundary_observation_lands_in_its_own_bucket(self):
+        # Bucket i counts bounds[i-1] < v <= bounds[i]: a value exactly
+        # on a bound belongs to that bound's bucket, not the next one.
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (1.0, 1.5, 2.0, 2.5, 4.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 2, 0]
+
+    def test_overflow_bucket_reports_the_exact_max(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        hist.observe(7.5)
+        assert hist.counts == [0, 0, 2]
+        # Any rank landing in the overflow bucket estimates as the
+        # observed max — exact for the tail, conservative below it.
+        assert hist.quantile(0.5) == 100.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.quantile(0.99) == 0.0
+        assert hist.snapshot()["count"] == 0
+        assert hist.snapshot()["min"] == 0.0
+
+    def test_quantile_validates_q(self):
+        hist = Histogram("h", buckets=(1.0,))
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="quantile"):
+                hist.quantile(bad)
+
+    def test_bounds_must_strictly_increase_and_be_nonempty(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_mean_and_minmax_are_exact(self):
+        hist = Histogram("h", buckets=(1.0, 8.0))
+        for value in (0.5, 2.0, 6.5):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(3.0)
+        assert hist.min == 0.5 and hist.max == 6.5
+
+    def test_single_observation_every_quantile_is_that_value(self):
+        hist = Histogram("h")  # default latency buckets
+        hist.observe(3.2e-3)
+        for q in (0.5, 0.99, 0.999, 1.0):
+            assert hist.quantile(q) == pytest.approx(3.2e-3)
+
+    def test_percentiles_keys(self):
+        hist = Histogram("h")
+        hist.observe(1e-3)
+        assert set(hist.percentiles()) == {"p50", "p99", "p999"}
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=1e-7, max_value=16.0, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    q=st.sampled_from((0.5, 0.9, 0.99, 0.999)),
+)
+def test_quantile_estimate_within_one_bucket_width_of_exact(samples, q):
+    """The acceptance property: p99 (and friends) without retaining
+    samples, provably within one bucket width of the exact sample
+    quantile.  Samples stay inside the bucketed range, so the overflow
+    bucket's separate exact-max path is covered by the boundary tests
+    above."""
+    hist = Histogram("h")  # default buckets cover (0, ~16.8] seconds
+    for value in samples:
+        hist.observe(value)
+    exact = sorted(samples)[max(1, math.ceil(q * len(samples))) - 1]
+    estimate = hist.quantile(q)
+    index = bisect_left(hist.bounds, exact)
+    lower = hist.bounds[index - 1] if index > 0 else 0.0
+    width = hist.bounds[index] - lower
+    assert abs(estimate - exact) <= width + 1e-12
+    assert hist.min <= estimate <= hist.max
+
+
+class TestRegistry:
+    def test_instruments_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_cross_kind_name_collisions_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_view("x", dict)
+
+    def test_unique_name_suffixes_on_collision(self):
+        registry = MetricsRegistry()
+        assert registry.unique_name("serving") == "serving"
+        registry.register_view("serving", dict)
+        assert registry.unique_name("serving") == "serving.2"
+        registry.register_view("serving.2", dict)
+        assert registry.unique_name("serving") == "serving.3"
+
+    def test_histograms_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.histogram("stage.merge")
+        registry.histogram("stage.plan")
+        registry.histogram("other")
+        assert set(registry.histograms("stage.")) == {
+            "stage.merge",
+            "stage.plan",
+        }
+
+    def test_views_are_sampled_lazily_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        stats = {"hits": 0}
+        registry.register_view("cache", lambda: dict(stats))
+        stats["hits"] = 7  # mutated after registration
+        assert registry.snapshot()["views"]["cache"] == {"hits": 7}
+
+    def test_snapshot_carries_every_kind_and_optional_clock(self):
+        ticks = iter((42.0, 43.0))
+        registry = MetricsRegistry(clock=lambda: next(ticks))
+        registry.counter("served").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat").observe(1e-3)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"served": 3}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["t"] == 42.0
+
+    def test_record_snapshot_appends(self):
+        registry = MetricsRegistry()
+        first = registry.record_snapshot()
+        registry.counter("served").inc()
+        second = registry.record_snapshot()
+        assert registry.snapshots == [first, second]
+        assert second["counters"]["served"] == 1

@@ -1,0 +1,137 @@
+"""The report renderer: breakdowns and slowest-trace tables.
+
+Driven entirely by fake-clock traces so every number in the rendered
+output is pinned, and by the same dict forms `read_jsonl` returns so
+the renderer provably works on reloaded exports.
+"""
+
+import pytest
+
+from repro.obs import (
+    RETRY_STAGES,
+    STAGE_ADMIT,
+    STAGE_DEMUX,
+    STAGE_DISPATCH,
+    Tracer,
+    render_report,
+    slowest_traces,
+    stage_breakdown,
+)
+
+from tests.obs.test_trace import FakeClock, _complete_chain
+
+
+def _session(trace_count=3):
+    """Traces with strictly increasing durations (steps 1s, 2s, 3s...)."""
+    traces = []
+    for i in range(trace_count):
+        tracer = Tracer(clock=FakeClock(step=float(i + 1)))
+        traces.append(_complete_chain(tracer))
+    return traces
+
+
+class TestStageBreakdown:
+    def test_pipeline_stages_come_first_in_order(self):
+        tracer = Tracer(clock=FakeClock())
+        ctx = _complete_chain(tracer)
+        # An extra non-pipeline span name sorts after the pipeline.
+        extra = tracer.trace()
+        extra.end(extra.begin("zz_custom"))
+        extra.end(extra.begin(STAGE_ADMIT))
+        extra.close("answered")
+        breakdown = stage_breakdown([ctx, extra])
+        names = list(breakdown)
+        assert names[0] == STAGE_ADMIT
+        assert names[-1] == "zz_custom"
+        assert set(RETRY_STAGES) < set(names)
+
+    def test_shares_sum_to_one_and_stats_are_exact(self):
+        breakdown = stage_breakdown(_session())
+        assert sum(row["share"] for row in breakdown.values()) == pytest.approx(
+            1.0
+        )
+        # Every span in a FakeClock(step=s) chain lasts exactly s.
+        admit = breakdown[STAGE_ADMIT]
+        assert admit["count"] == 3
+        assert admit["total_s"] == pytest.approx(1.0 + 2.0 + 3.0)
+        assert admit["max_s"] == pytest.approx(3.0)
+        assert admit["mean_s"] == pytest.approx(2.0)
+
+    def test_open_spans_are_excluded(self):
+        tracer = Tracer(clock=FakeClock())
+        ctx = tracer.trace()
+        ctx.begin(STAGE_DISPATCH)  # never ended
+        assert stage_breakdown([ctx]) == {}
+
+    def test_empty_input(self):
+        assert stage_breakdown([]) == {}
+
+
+class TestSlowestTraces:
+    def test_sorted_slowest_first_and_truncated(self):
+        traces = _session(trace_count=4)
+        rows = slowest_traces(traces, top=2)
+        assert len(rows) == 2
+        assert rows[0]["duration_s"] > rows[1]["duration_s"]
+        assert rows[0]["trace_id"] == traces[-1].trace_id
+
+    def test_stage_durations_sum_across_retry_rounds(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        ctx = _complete_chain(tracer, rounds=2)
+        (row,) = slowest_traces([ctx])
+        # Two rounds of 1s-per-span queue spans: summed, not latest.
+        assert row["stages_s"]["queue"] == pytest.approx(2.0)
+        assert row["stages_s"][STAGE_ADMIT] == pytest.approx(1.0)
+
+    def test_open_traces_are_excluded(self):
+        tracer = Tracer(clock=FakeClock())
+        open_trace = tracer.trace()
+        assert slowest_traces([open_trace]) == []
+
+    def test_events_are_listed_by_name(self):
+        tracer = Tracer(clock=FakeClock())
+        ctx = tracer.trace()
+        ctx.event("retry", attempt=1)
+        ctx.close("failed")
+        (row,) = slowest_traces([ctx])
+        assert row["events"] == ["retry"]
+        assert row["status"] == "failed"
+
+
+class TestRenderReport:
+    def test_healthy_session_renders_every_section(self):
+        traces = _session()
+        snapshot = {
+            "histograms": {
+                "stage.dispatch": {
+                    "count": 3,
+                    "p50": 2e-3,
+                    "p99": 3e-3,
+                    "p999": 3e-3,
+                }
+            }
+        }
+        report = render_report(traces, snapshots=[snapshot], top=2)
+        assert "traces: 3 (3 answered)" in report
+        assert "chain integrity: OK" in report
+        assert "per-stage latency breakdown:" in report
+        assert "top 2 slowest traces:" in report
+        assert "final snapshot histograms:" in report
+        assert "stage.dispatch" in report
+
+    def test_broken_chain_is_called_out(self):
+        tracer = Tracer(clock=FakeClock())
+        broken = tracer.trace()
+        broken.end(broken.begin(STAGE_ADMIT))
+        broken.begin(STAGE_DEMUX)  # orphan
+        broken.close("answered")
+        report = render_report([broken])
+        assert "1 BROKEN" in report
+
+    def test_renders_reloaded_dict_forms(self):
+        traces = [t.to_dict() for t in _session()]
+        report = render_report(traces)
+        assert "chain integrity: OK" in report
+
+    def test_empty_session(self):
+        assert "traces: 0 (none)" in render_report([])

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.exec",
     "repro.pir",
     "repro.serve",
+    "repro.obs",
     "repro.bench",
     "repro.baselines",
 ]
